@@ -1,0 +1,118 @@
+//! GPU (cuSPARSE on Titan Xp) baseline model.
+
+use matraptor_energy::DramEnergy;
+
+use crate::{BandwidthNorm, ModeledRun, Workload, NORMALIZED_BANDWIDTH_GBS};
+
+/// Analytic model of cuSPARSE's `csrgemm` on the paper's Titan Xp
+/// (Section V-B: GDDR5X at 547.6 GB/s peak, CUDA 9.1).
+///
+/// cuSPARSE's SpGEMM of that era is a two-pass ESC-style kernel: a
+/// symbolic pass sizes the output, a numeric pass expands partial products
+/// into global scratch, sorts, and compresses. The model charges:
+///
+/// * `traffic_multiplier ×` the compulsory traffic — the expand/sort
+///   passes materialise and re-read the O(flops) intermediate list;
+/// * a low effective-bandwidth fraction — very short rows leave most of
+///   each 32-byte DRAM transaction unused and starve the SMs;
+/// * a fixed per-call overhead (kernel launches, cudaMalloc of the
+///   scratch), which is why the paper's small matrices fare even worse on
+///   the GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Peak DRAM bandwidth in GB/s.
+    pub peak_bw_gbs: f64,
+    /// Fraction of peak usable on short irregular rows.
+    pub effective_bw: f64,
+    /// Ratio of total traffic to compulsory traffic (expand + sort +
+    /// compress passes over the intermediate list).
+    pub traffic_multiplier: f64,
+    /// Fixed per-invocation overhead in seconds.
+    pub fixed_overhead_s: f64,
+    /// Board power under load, watts.
+    pub power_w: f64,
+    /// DRAM interface energy.
+    pub dram: DramEnergy,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel {
+            peak_bw_gbs: 547.6,
+            effective_bw: 0.042,
+            traffic_multiplier: 5.0,
+            fixed_overhead_s: 80e-6,
+            power_w: 230.0,
+            dram: DramEnergy::gddr5x(),
+        }
+    }
+}
+
+impl GpuModel {
+    /// DRAM traffic the kernel moves.
+    pub fn dram_traffic(&self, w: &Workload) -> u64 {
+        let compulsory = w.bytes_a() + w.bytes_b() + w.bytes_c();
+        // The intermediate expand list is 16 B per partial product
+        // (value + row + column), written once and re-read by sort/compress.
+        let intermediate = 2 * 16 * w.flops;
+        (compulsory as f64 * self.traffic_multiplier) as u64 + intermediate
+    }
+
+    /// Evaluates the model.
+    ///
+    /// Bandwidth normalisation scales the whole runtime by
+    /// `native_peak / 128` (the paper's GPU-BW numbers are exactly
+    /// 547.6 / 128 = 4.28× its GPU numbers).
+    pub fn run(&self, w: &Workload, norm: BandwidthNorm) -> ModeledRun {
+        let traffic = self.dram_traffic(w);
+        let mut time_s = self.fixed_overhead_s
+            + traffic as f64 / (self.peak_bw_gbs * self.effective_bw * 1e9);
+        if norm == BandwidthNorm::Normalized {
+            time_s *= self.peak_bw_gbs / NORMALIZED_BANDWIDTH_GBS;
+        }
+        ModeledRun {
+            time_s,
+            energy_j: self.power_w * time_s + self.dram.energy_j(traffic),
+            dram_bytes: traffic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matraptor_sparse::gen;
+
+    fn workload() -> Workload {
+        let a = gen::uniform(400, 400, 4_000, 10);
+        Workload::measure(&a, &a)
+    }
+
+    #[test]
+    fn normalization_slows_the_gpu() {
+        // Unlike the CPU, the GPU's native bandwidth exceeds 128 GB/s, so
+        // normalisation makes it *slower* (the paper's GPU-BW numbers are
+        // larger speedups than GPU).
+        let w = workload();
+        let m = GpuModel::default();
+        assert!(
+            m.run(&w, BandwidthNorm::Normalized).time_s > m.run(&w, BandwidthNorm::Native).time_s
+        );
+    }
+
+    #[test]
+    fn traffic_exceeds_compulsory() {
+        let w = workload();
+        let m = GpuModel::default();
+        assert!(m.dram_traffic(&w) > w.bytes_a() + w.bytes_b() + w.bytes_c());
+    }
+
+    #[test]
+    fn fixed_overhead_dominates_tiny_inputs() {
+        let a = gen::uniform(20, 20, 60, 11);
+        let w = Workload::measure(&a, &a);
+        let m = GpuModel::default();
+        let run = m.run(&w, BandwidthNorm::Native);
+        assert!(run.time_s > 0.9 * m.fixed_overhead_s);
+    }
+}

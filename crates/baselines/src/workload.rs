@@ -1,0 +1,95 @@
+//! Workload characterisation shared by all baseline models.
+
+use matraptor_sparse::{spgemm, Csr, Scalar};
+
+/// Everything a platform model needs to know about one SpGEMM instance,
+/// obtained by actually running the reference row-wise kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Rows of A (= rows of C).
+    pub rows: u64,
+    /// Columns of B (= cols of C).
+    pub cols: u64,
+    /// Non-zeros of A.
+    pub nnz_a: u64,
+    /// Non-zeros of B.
+    pub nnz_b: u64,
+    /// Non-zeros of the product.
+    pub nnz_c: u64,
+    /// Scalar multiplications (useful flops).
+    pub flops: u64,
+    /// Additions during accumulation.
+    pub additions: u64,
+}
+
+impl Workload {
+    /// Characterises `a * b` by running the reference kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn measure<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Self {
+        let (c, stats) = spgemm::gustavson_with_stats(a, b);
+        Workload {
+            rows: a.rows() as u64,
+            cols: b.cols() as u64,
+            nnz_a: a.nnz() as u64,
+            nnz_b: b.nnz() as u64,
+            nnz_c: c.nnz() as u64,
+            flops: stats.multiplies,
+            additions: stats.additions,
+        }
+    }
+
+    /// Total arithmetic operations, paper-style.
+    pub fn total_ops(&self) -> u64 {
+        self.flops + self.additions
+    }
+
+    /// Bytes of A in CSR at 8 B per entry plus row pointers.
+    pub fn bytes_a(&self) -> u64 {
+        8 * self.nnz_a + 8 * (self.rows + 1)
+    }
+
+    /// Bytes of B (same layout).
+    pub fn bytes_b(&self) -> u64 {
+        8 * self.nnz_b + 8 * (self.nnz_b.min(self.rows) + 1)
+    }
+
+    /// Bytes of the output.
+    pub fn bytes_c(&self) -> u64 {
+        8 * self.nnz_c + 8 * (self.rows + 1)
+    }
+
+    /// Bytes of B rows *as streamed by the row-wise product* — each
+    /// B row is re-read once per referencing non-zero of A, which is what
+    /// a cache-less (or cache-thrashing) implementation pays.
+    pub fn bytes_b_streamed(&self) -> u64 {
+        8 * self.flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matraptor_sparse::gen;
+
+    #[test]
+    fn measures_real_product() {
+        let a = gen::uniform(50, 50, 250, 3);
+        let w = Workload::measure(&a, &a);
+        assert_eq!(w.rows, 50);
+        assert_eq!(w.nnz_a, 250);
+        assert_eq!(w.flops, spgemm::multiply_count(&a, &a));
+        assert!(w.nnz_c > 0);
+        assert!(w.total_ops() >= w.flops);
+    }
+
+    #[test]
+    fn byte_footprints_are_consistent() {
+        let a = gen::uniform(40, 40, 200, 4);
+        let w = Workload::measure(&a, &a);
+        assert_eq!(w.bytes_a(), 8 * 200 + 8 * 41);
+        assert!(w.bytes_b_streamed() >= w.bytes_b() - 8 * 41);
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the cycle-level accelerator simulation itself
+//! (host-side simulation throughput, not modelled hardware speed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matraptor_core::{conversion_cycles, Accelerator, MatRaptorConfig};
+use matraptor_sparse::gen::suite;
+use std::hint::black_box;
+
+fn no_verify() -> MatRaptorConfig {
+    MatRaptorConfig { verify_against_reference: false, ..MatRaptorConfig::default() }
+}
+
+fn accelerator_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accelerator_sim");
+    g.sample_size(10);
+    for id in ["az", "p3", "mb"] {
+        let a = suite::by_id(id).expect("Table II id").generate(256, 42);
+        let accel = Accelerator::new(no_verify());
+        g.bench_with_input(BenchmarkId::new("a_x_a", id), &a, |b, a| {
+            b.iter(|| black_box(accel.run(a, a)))
+        });
+    }
+    g.finish();
+}
+
+fn lane_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accelerator_lanes");
+    g.sample_size(10);
+    let a = suite::by_id("az").expect("az").generate(256, 42);
+    for lanes in [2usize, 4, 8] {
+        let cfg = MatRaptorConfig {
+            num_lanes: lanes,
+            mem: matraptor_mem::HbmConfig::with_channels(lanes),
+            verify_against_reference: false,
+            ..MatRaptorConfig::default()
+        };
+        let accel = Accelerator::new(cfg);
+        g.bench_with_input(BenchmarkId::new("lanes", lanes), &a, |b, a| {
+            b.iter(|| black_box(accel.run(a, a)))
+        });
+    }
+    g.finish();
+}
+
+fn conversion_unit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("format_conversion_sim");
+    g.sample_size(10);
+    let a = suite::by_id("of").expect("of").generate(256, 42);
+    let cfg = no_verify();
+    g.bench_function("csr_to_c2sr_unit", |b| {
+        b.iter(|| black_box(conversion_cycles(&a, &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, accelerator_runs, lane_scaling, conversion_unit);
+criterion_main!(benches);

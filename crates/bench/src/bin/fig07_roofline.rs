@@ -1,0 +1,60 @@
+//! Fig. 7 — Performance of SpGEMM under the roofline of MatRaptor (A×A).
+//!
+//! Prints, for each Table II matrix: operation intensity (OPs/byte),
+//! achieved throughput (GOP/s), the roofline bound at that intensity, and
+//! the fraction of the bound achieved. The paper's observation to
+//! reproduce: *every* benchmark sits in the memory-bound region (left of
+//! the ridge) and close to the slanted roof, with the residual gap caused
+//! by matrix-B channel conflicts.
+//!
+//! Usage: `cargo run --release -p matraptor-bench --bin fig07_roofline -- [--scale N] [--seed N] [--json]`
+
+use matraptor_bench::{load_suite, print_table, Options};
+use matraptor_core::{Accelerator, MatRaptorConfig};
+
+fn main() {
+    let opts = Options::from_args();
+    let cfg = MatRaptorConfig { verify_against_reference: false, ..MatRaptorConfig::default() };
+    let peak_gops = cfg.peak_gops();
+    let peak_bw = cfg.mem.peak_bandwidth_gbs();
+    let accel = Accelerator::new(cfg);
+
+    println!("Fig. 7 — roofline for A x A (scale 1/{})", opts.scale);
+    println!(
+        "peak compute {peak_gops} GOP/s, peak bandwidth {peak_bw} GB/s, ridge at {:.2} OPs/byte\n",
+        peak_gops / peak_bw
+    );
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for m in load_suite(&opts) {
+        let outcome = accel.run(&m.matrix, &m.matrix);
+        let s = &outcome.stats;
+        let oi = s.op_intensity();
+        let gops = s.achieved_gops();
+        let roof = peak_gops.min(oi * peak_bw);
+        rows.push(vec![
+            m.spec.id.to_string(),
+            format!("{}", m.matrix.rows()),
+            format!("{}", m.matrix.nnz()),
+            format!("{:.3}", oi),
+            format!("{:.2}", gops),
+            format!("{:.2}", roof),
+            format!("{:.0}%", 100.0 * gops / roof),
+            format!("{:.1}", s.achieved_bandwidth_gbs()),
+            if oi < peak_gops / peak_bw { "memory".into() } else { "compute".into() },
+        ]);
+        json_rows.push(format!(
+            "{{\"id\":\"{}\",\"op_intensity\":{oi},\"gops\":{gops},\"roof\":{roof},\"bandwidth_gbs\":{}}}",
+            m.spec.id,
+            s.achieved_bandwidth_gbs()
+        ));
+    }
+    print_table(
+        &["matrix", "N", "nnz", "OI (ops/B)", "GOP/s", "roof", "of roof", "GB/s", "region"],
+        &rows,
+    );
+    if opts.json {
+        println!("\n[{}]", json_rows.join(",\n "));
+    }
+}

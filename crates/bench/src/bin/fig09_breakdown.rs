@@ -1,0 +1,47 @@
+//! Fig. 9 — Performance breakdown (A×A).
+//!
+//! For each Table II matrix, prints the fraction of PE cycles spent with
+//! the multipliers busy vs stalled on merge vs stalled on memory, plus the
+//! Phase I / Phase II cycle ratio (the paper observes it in [2, 15] and
+//! uses that to justify the double-buffered queue sets).
+//!
+//! Usage: `cargo run --release -p matraptor-bench --bin fig09_breakdown -- [--scale N] [--seed N] [--json]`
+
+use matraptor_bench::{load_suite, print_table, Options};
+use matraptor_core::{Accelerator, MatRaptorConfig};
+
+fn main() {
+    let opts = Options::from_args();
+    let cfg = MatRaptorConfig { verify_against_reference: false, ..MatRaptorConfig::default() };
+    let accel = Accelerator::new(cfg);
+
+    println!("Fig. 9 — PE cycle breakdown for A x A (scale 1/{})\n", opts.scale);
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for m in load_suite(&opts) {
+        let outcome = accel.run(&m.matrix, &m.matrix);
+        let s = &outcome.stats;
+        let (busy, merge, mem, idle) = s.breakdown.fractions();
+        rows.push(vec![
+            m.spec.id.to_string(),
+            format!("{:.1}%", busy * 100.0),
+            format!("{:.1}%", merge * 100.0),
+            format!("{:.1}%", mem * 100.0),
+            format!("{:.1}%", idle * 100.0),
+            format!("{:.1}", s.phase_ratio()),
+            format!("{}", s.total_cycles),
+        ]);
+        json_rows.push(format!(
+            "{{\"id\":\"{}\",\"busy\":{busy},\"merge_stall\":{merge},\"memory_stall\":{mem},\"idle\":{idle},\"phase_ratio\":{}}}",
+            m.spec.id,
+            s.phase_ratio()
+        ));
+    }
+    print_table(
+        &["matrix", "busy", "merge stall", "memory stall", "idle", "phaseI/II", "cycles"],
+        &rows,
+    );
+    if opts.json {
+        println!("\n[{}]", json_rows.join(",\n "));
+    }
+}

@@ -1,0 +1,40 @@
+//! Fig. 11 — Load imbalance of the C²SR round-robin row assignment.
+//!
+//! Measured as the ratio of the maximum to minimum number of A non-zeros
+//! assigned to the 8 PEs. The paper finds < 5 % imbalance everywhere
+//! except the two small matrices (`wv`, `fb`), where round-robin has too
+//! few rows to average over.
+//!
+//! Usage: `cargo run --release -p matraptor-bench --bin fig11_load_imbalance -- [--scale N] [--seed N] [--json]`
+
+use matraptor_bench::{load_suite, print_table, Options};
+use matraptor_sparse::C2sr;
+
+fn main() {
+    let opts = Options::from_args();
+    let lanes = 8;
+    println!("Fig. 11 — max/min per-PE nnz(A) under round-robin rows, {lanes} PEs (scale 1/{})\n", opts.scale);
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for m in load_suite(&opts) {
+        let c2sr = C2sr::from_csr(&m.matrix, lanes);
+        let per_pe: Vec<u64> = (0..lanes).map(|l| c2sr.channel_nnz(l) as u64).collect();
+        let max = *per_pe.iter().max().expect("8 lanes");
+        let min = *per_pe.iter().min().expect("8 lanes");
+        let ratio = if min == 0 { f64::INFINITY } else { max as f64 / min as f64 };
+        rows.push(vec![
+            m.spec.id.to_string(),
+            format!("{}", m.matrix.rows()),
+            format!("{}", m.matrix.nnz()),
+            format!("{:.4}", ratio),
+            format!("{:+.1}%", (ratio - 1.0) * 100.0),
+        ]);
+        json_rows.push(format!("{{\"id\":\"{}\",\"imbalance\":{ratio}}}", m.spec.id));
+    }
+    print_table(&["matrix", "N", "nnz", "max/min", "imbalance"], &rows);
+    println!("\npaper: < 5% everywhere except the small wv and fb");
+    if opts.json {
+        println!("\n[{}]", json_rows.join(",\n "));
+    }
+}

@@ -1,0 +1,52 @@
+//! Section VII — CSR → C²SR format-conversion overhead.
+//!
+//! The paper measures conversion at ~12 % of SpGEMM execution time on
+//! average, and argues the O(nnz) cost is amortised against SpGEMM's
+//! O(nnz²/N) work. This binary simulates the conversion unit against the
+//! same HBM model and compares its time to the simulated A×A time.
+//!
+//! Usage: `cargo run --release -p matraptor-bench --bin fmt_conversion -- [--scale N] [--seed N] [--json]`
+
+use matraptor_bench::{geomean, load_suite, print_table, Options};
+use matraptor_core::{conversion_cycles, Accelerator, MatRaptorConfig};
+
+fn main() {
+    let opts = Options::from_args();
+    let cfg = MatRaptorConfig { verify_against_reference: false, ..MatRaptorConfig::default() };
+    let accel = Accelerator::new(cfg.clone());
+
+    println!("Section VII — CSR->C2SR conversion vs SpGEMM time (scale 1/{})\n", opts.scale);
+    let mut rows = Vec::new();
+    let mut fracs = Vec::new();
+    let mut json_rows = Vec::new();
+    for m in load_suite(&opts) {
+        let conv = conversion_cycles(&m.matrix, &cfg);
+        let outcome = accel.run(&m.matrix, &m.matrix);
+        let conv_s = conv.elapsed_seconds();
+        let spgemm_s = outcome.stats.elapsed_seconds();
+        let frac = conv_s / spgemm_s;
+        fracs.push(frac);
+        rows.push(vec![
+            m.spec.id.to_string(),
+            format!("{}", conv.mem_cycles),
+            format!("{:.1}", conv_s * 1e6),
+            format!("{:.1}", spgemm_s * 1e6),
+            format!("{:.1}%", frac * 100.0),
+        ]);
+        json_rows.push(format!(
+            "{{\"id\":\"{}\",\"conversion_fraction\":{frac}}}",
+            m.spec.id
+        ));
+    }
+    print_table(
+        &["matrix", "conv mem cycles", "conv (us)", "SpGEMM (us)", "conv/SpGEMM"],
+        &rows,
+    );
+    println!(
+        "\ngeomean conversion overhead {:.1}% of SpGEMM time (paper: ~12%)",
+        geomean(&fracs) * 100.0
+    );
+    if opts.json {
+        println!("\n[{}]", json_rows.join(",\n "));
+    }
+}

@@ -1,0 +1,68 @@
+//! Runs every experiment binary in sequence and collects their output
+//! under `results/`, regenerating the data behind EXPERIMENTS.md in one
+//! command.
+//!
+//! Usage: `cargo run --release -p matraptor-bench --bin run_all -- [--scale N] [--seed N]`
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use matraptor_bench::Options;
+
+/// Experiment binaries in presentation order; the bool marks those that
+/// take the common `--scale/--seed` options.
+const EXPERIMENTS: &[(&str, bool)] = &[
+    ("table1_area_power", false),
+    ("table2_datasets", true),
+    ("fig06_bandwidth", true),
+    ("fig07_roofline", true),
+    ("fig08_speedup_energy", true),
+    ("fig09_breakdown", true),
+    ("fig10_axb", true),
+    ("fig11_load_imbalance", true),
+    ("fmt_conversion", true),
+    ("dataflow_analysis", true),
+    ("ablation_queues", true),
+    ("ablation_design", true),
+    ("sweep_scale", true),
+];
+
+fn main() {
+    let opts = Options::from_args();
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    let out_dir = PathBuf::from("results");
+    fs::create_dir_all(&out_dir).expect("create results/");
+
+    println!("running {} experiments at scale 1/{} into {}/", EXPERIMENTS.len(), opts.scale, out_dir.display());
+    let mut failures = 0;
+    for &(name, takes_opts) in EXPERIMENTS {
+        let mut cmd = Command::new(bin_dir.join(name));
+        if takes_opts {
+            cmd.args(["--scale", &opts.scale.to_string(), "--seed", &opts.seed.to_string()]);
+        }
+        print!("  {name:<24} ");
+        match cmd.output() {
+            Ok(out) if out.status.success() => {
+                let path = out_dir.join(format!("{name}.txt"));
+                fs::write(&path, &out.stdout).expect("write result");
+                println!("ok -> {}", path.display());
+            }
+            Ok(out) => {
+                failures += 1;
+                println!("FAILED (exit {:?})", out.status.code());
+                eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+            }
+            Err(e) => {
+                failures += 1;
+                println!("FAILED to spawn: {e} (build with `cargo build --release -p matraptor-bench` first)");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nall experiments complete; see EXPERIMENTS.md for the paper-vs-measured digest");
+}

@@ -1,0 +1,69 @@
+//! Table I — Area and power breakdown of MatRaptor.
+//!
+//! Prints the component table at TSMC 28 nm and the derived comparisons
+//! the abstract makes against OuterSPACE (31.3× smaller, 7.2× less
+//! power). Component values are the paper's synthesis results (we cannot
+//! rerun Synopsys DC / CACTI); the point of this binary is the derived
+//! arithmetic: totals, percentage shares, floorplan scaling, and the
+//! 32 nm → 28 nm technology conversion for OuterSPACE.
+//!
+//! Usage: `cargo run -p matraptor-bench --bin table1_area_power`
+
+use matraptor_bench::print_table;
+use matraptor_energy::{table1, MatRaptorFloorplan, TechNode};
+
+fn main() {
+    println!("Table I — area and power breakdown (TSMC 28 nm)\n");
+    let t = table1();
+    let total_area: f64 = t.iter().filter(|r| !r.sub_item).map(|r| r.cost.area_mm2).sum();
+    let total_power: f64 = t.iter().filter(|r| !r.sub_item).map(|r| r.cost.power_mw).sum();
+
+    let mut rows: Vec<Vec<String>> = t
+        .iter()
+        .map(|r| {
+            vec![
+                if r.sub_item { format!("- {}", r.name) } else { r.name.to_string() },
+                format!("{:.3}", r.cost.area_mm2),
+                format!("{:.2}%", 100.0 * r.cost.area_mm2 / total_area),
+                format!("{:.2}", r.cost.power_mw),
+                format!("{:.2}%", 100.0 * r.cost.power_mw / total_power),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "Total".into(),
+        format!("{total_area:.3}"),
+        "100%".into(),
+        format!("{total_power:.2}"),
+        "100%".into(),
+    ]);
+    print_table(&["Component", "Area (mm2)", "%", "Power (mW)", "%"], &rows);
+
+    let fp = MatRaptorFloorplan::default();
+    println!("\nDerived comparisons:");
+    let os_area_32 = 87.0; // OuterSPACE's published area at 32 nm
+    let os_area_28 = os_area_32 * TechNode::N32.area_factor_to(TechNode::N28);
+    println!(
+        "  OuterSPACE 87 mm2 @32nm -> {:.1} mm2 @28nm (paper: 70.2); ratio {:.1}x (paper: 31.3x)",
+        os_area_28,
+        os_area_28 / fp.area_mm2()
+    );
+    println!(
+        "  MatRaptor power {:.2} W; OuterSPACE ~{:.1} W @28nm -> {:.1}x (paper: 7.2x)",
+        fp.power_w(),
+        9.7,
+        9.7 / fp.power_w()
+    );
+
+    println!("\nFloorplan scaling (CACTI-style, SRAM-dominated):");
+    let mut frows = Vec::new();
+    for (lanes, q, bytes) in [(8, 10, 4096), (8, 10, 8192), (16, 10, 4096), (8, 5, 4096)] {
+        let f = MatRaptorFloorplan { num_lanes: lanes, queues_per_pe: q, queue_bytes: bytes };
+        frows.push(vec![
+            format!("{lanes} lanes, {q} x {} KB", bytes / 1024),
+            format!("{:.3}", f.area_mm2()),
+            format!("{:.2}", f.power_w()),
+        ]);
+    }
+    print_table(&["configuration", "area (mm2)", "power (W)"], &frows);
+}

@@ -1,0 +1,182 @@
+//! Accelerator configuration.
+
+use matraptor_mem::HbmConfig;
+
+/// Parameters of the MatRaptor accelerator.
+///
+/// Defaults reproduce the evaluated configuration of Section V: a systolic
+/// array with **eight rows (lanes)** to match the eight HBM channels, each
+/// PE with **ten 4 KB sorting queues**, 64-entry outstanding-request
+/// queues, and a 2 GHz accelerator clock over a 1 GHz HBM.
+///
+/// # Example
+///
+/// ```rust
+/// use matraptor_core::MatRaptorConfig;
+///
+/// let cfg = MatRaptorConfig::default();
+/// assert_eq!(cfg.num_lanes, 8);
+/// assert_eq!(cfg.queue_capacity_entries(), 512);
+/// assert_eq!(cfg.peak_gops(), 32.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatRaptorConfig {
+    /// Rows of the systolic array (SpAL + SpBL + PE per row). The paper
+    /// sets this equal to the HBM channel count.
+    pub num_lanes: usize,
+    /// Sorting queues per PE (the paper's `Q`, must be > 2: Q−1 primaries
+    /// plus one helper).
+    pub queues_per_pe: usize,
+    /// Size of each sorting queue in bytes (SRAM).
+    pub queue_bytes: usize,
+    /// Bytes per `(value, column id)` entry as stored in memory and in the
+    /// queues (4 B value + 4 B column id in the evaluated design).
+    pub entry_bytes: usize,
+    /// Accelerator clock in GHz (the PEs; HBM has its own clock).
+    pub clock_ghz: f64,
+    /// Width of SpAL/SpBL streaming reads in bytes (one interleave block,
+    /// so each vectorized request stays on one channel).
+    pub read_request_bytes: u32,
+    /// Depth of the outstanding-request/response queues in SpAL and SpBL.
+    pub outstanding_requests: usize,
+    /// Depth of the small coupling FIFOs between SpAL→SpBL and SpBL→PE.
+    pub coupling_fifo_depth: usize,
+    /// Memory configuration.
+    pub mem: HbmConfig,
+    /// Whether the PE's two queue sets double-buffer Phase I and Phase II
+    /// (Fig. 5b). Disabling serialises the phases — the ablation for the
+    /// design choice Section IV-B motivates ("Phase II stalls the multiply
+    /// operations ... with two sets of queues ... Phase I and Phase II can
+    /// be performed in parallel").
+    pub double_buffering: bool,
+    /// When true, every run cross-checks the accelerator's output against
+    /// the software Gustavson reference and panics on mismatch. Cheap
+    /// relative to simulation; disable only for very large sweeps.
+    pub verify_against_reference: bool,
+}
+
+impl Default for MatRaptorConfig {
+    fn default() -> Self {
+        MatRaptorConfig {
+            num_lanes: 8,
+            queues_per_pe: 10,
+            queue_bytes: 4096,
+            entry_bytes: 8,
+            clock_ghz: 2.0,
+            read_request_bytes: 64,
+            outstanding_requests: 64,
+            coupling_fifo_depth: 16,
+            mem: HbmConfig::default(),
+            double_buffering: true,
+            verify_against_reference: true,
+        }
+    }
+}
+
+impl MatRaptorConfig {
+    /// A small configuration for unit tests: 2 lanes over 2 channels,
+    /// shallow queues so overflow paths are reachable.
+    pub fn small_test() -> Self {
+        MatRaptorConfig {
+            num_lanes: 2,
+            queues_per_pe: 4,
+            queue_bytes: 512,
+            mem: HbmConfig::with_channels(2),
+            ..MatRaptorConfig::default()
+        }
+    }
+
+    /// Entries each sorting queue can hold.
+    pub fn queue_capacity_entries(&self) -> usize {
+        self.queue_bytes / self.entry_bytes
+    }
+
+    /// Peak arithmetic throughput in GOP/s: each lane retires one MAC
+    /// (2 ops) per cycle. The paper's 8 lanes × 2 GHz × 2 = 32 GOP/s.
+    pub fn peak_gops(&self) -> f64 {
+        self.num_lanes as f64 * 2.0 * self.clock_ghz
+    }
+
+    /// Ratio of accelerator clock to memory clock, as integer ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratio is not a positive integer (the cycle-driven
+    /// coupling assumes the memory ticks every `k`-th accelerator cycle).
+    pub fn mem_clock_ratio(&self) -> u64 {
+        let ratio = self.clock_ghz / self.mem.clock_ghz;
+        let rounded = ratio.round();
+        assert!(
+            rounded >= 1.0 && (ratio - rounded).abs() < 1e-9,
+            "accelerator/memory clock ratio must be a positive integer, got {ratio}"
+        );
+        rounded as u64
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any structural constraint is violated (zero lanes, fewer
+    /// than 3 queues, queue smaller than one entry, lane count not equal
+    /// to the channel count — the configuration the paper evaluates and
+    /// this model supports).
+    pub fn validate(&self) {
+        assert!(self.num_lanes > 0, "need at least one lane");
+        assert!(
+            self.queues_per_pe > 2,
+            "need Q > 2 sorting queues (Q-1 primaries + helper)"
+        );
+        assert!(self.queue_capacity_entries() > 0, "queue smaller than one entry");
+        assert!(self.entry_bytes > 0, "zero entry size");
+        assert!(self.outstanding_requests > 0, "zero outstanding requests");
+        assert!(self.coupling_fifo_depth > 0, "zero coupling FIFO depth");
+        assert_eq!(
+            self.num_lanes, self.mem.num_channels,
+            "the evaluated design binds each lane to one HBM channel"
+        );
+        let _ = self.mem_clock_ratio();
+        self.mem.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let cfg = MatRaptorConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.queues_per_pe, 10);
+        assert_eq!(cfg.queue_bytes, 4096);
+        assert_eq!(cfg.mem_clock_ratio(), 2);
+        assert_eq!(cfg.peak_gops(), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "binds each lane")]
+    fn lane_channel_mismatch_rejected() {
+        let cfg = MatRaptorConfig { num_lanes: 4, ..MatRaptorConfig::default() };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "Q > 2")]
+    fn too_few_queues_rejected() {
+        let cfg = MatRaptorConfig { queues_per_pe: 2, ..MatRaptorConfig::default() };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "clock ratio")]
+    fn fractional_clock_ratio_rejected() {
+        let cfg = MatRaptorConfig { clock_ghz: 1.5, ..MatRaptorConfig::default() };
+        cfg.validate();
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        MatRaptorConfig::small_test().validate();
+    }
+}

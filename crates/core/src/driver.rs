@@ -1,0 +1,244 @@
+//! Host-CPU ↔ accelerator handshake (Section V).
+//!
+//! The paper attaches MatRaptor to a RISC-V host as a co-processor: the
+//! host uses a custom `mtx` (move-to-accelerator) instruction to write
+//! the pointers of the A/B/C storage arrays into accelerator
+//! configuration registers, then writes 1 into register `x0` to start it
+//! and polls for completion. This module models that memory-mapped
+//! interface so driver-level software (and tests) can exercise the same
+//! programming sequence the paper's gem5 + gcc toolchain used.
+
+use matraptor_sparse::Csr;
+
+use crate::accel::{Accelerator, RunOutcome};
+use crate::layout::Regions;
+
+/// Accelerator configuration-register file, as the host sees it.
+///
+/// Register indices follow the paper's programming sequence: six pointer
+/// registers (info/data for each of A, B, C), two dimension registers,
+/// and the `x0` start/status register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigRegisters {
+    /// Pointer to A's (row length, row pointer) array.
+    pub a_info_ptr: u64,
+    /// Pointer to A's (value, col id) channel streams.
+    pub a_data_ptr: u64,
+    /// Pointer to B's info array.
+    pub b_info_ptr: u64,
+    /// Pointer to B's data streams.
+    pub b_data_ptr: u64,
+    /// Pointer to the (empty) output info array.
+    pub c_info_ptr: u64,
+    /// Pointer to the (empty) output data region.
+    pub c_data_ptr: u64,
+    /// Rows of A.
+    pub a_rows: u64,
+    /// Rows of B (= columns of A).
+    pub b_rows: u64,
+    /// The start/status register: host writes 1 to launch; reads 0 while
+    /// running... the paper's `x0`.
+    pub x0: u64,
+}
+
+impl Default for ConfigRegisters {
+    fn default() -> Self {
+        let r = Regions::DEFAULT;
+        ConfigRegisters {
+            a_info_ptr: r.a_info,
+            a_data_ptr: r.a_data,
+            b_info_ptr: r.b_info,
+            b_data_ptr: r.b_data,
+            c_info_ptr: r.c_info,
+            c_data_ptr: r.c_data,
+            a_rows: 0,
+            b_rows: 0,
+            x0: 0,
+        }
+    }
+}
+
+/// One `mtx` message: which register, what value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MtxWrite {
+    /// Write a pointer register.
+    AInfo(u64),
+    /// A data pointer.
+    AData(u64),
+    /// B info pointer.
+    BInfo(u64),
+    /// B data pointer.
+    BData(u64),
+    /// C info pointer.
+    CInfo(u64),
+    /// C data pointer.
+    CData(u64),
+    /// A's row count.
+    ARows(u64),
+    /// B's row count.
+    BRows(u64),
+    /// The start register.
+    X0(u64),
+}
+
+/// The host-side driver: accumulates `mtx` writes and launches the
+/// accelerator when `x0` is set, exactly mirroring the paper's sequence.
+///
+/// # Example
+///
+/// ```rust
+/// use matraptor_core::{Accelerator, Driver, MatRaptorConfig, MtxWrite};
+/// use matraptor_sparse::gen;
+///
+/// let a = gen::uniform(32, 32, 160, 1);
+/// let accel = Accelerator::new(MatRaptorConfig::small_test());
+/// let mut driver = Driver::new(&accel);
+/// driver.mtx(MtxWrite::ARows(32));
+/// driver.mtx(MtxWrite::BRows(32));
+/// driver.mtx(MtxWrite::X0(1));
+/// let outcome = driver.launch(&a, &a).expect("configured");
+/// assert_eq!(outcome.c.rows(), 32);
+/// ```
+#[derive(Debug)]
+pub struct Driver<'a> {
+    accel: &'a Accelerator,
+    regs: ConfigRegisters,
+}
+
+/// Errors the driver reports before touching the accelerator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DriverError {
+    /// `x0` was never written with 1 — the host did not start the run.
+    NotStarted,
+    /// A dimension register disagrees with the supplied matrix.
+    DimensionMismatch {
+        /// Which register.
+        register: &'static str,
+        /// Value the host programmed.
+        programmed: u64,
+        /// Actual matrix dimension.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::NotStarted => write!(f, "x0 register not set; accelerator not started"),
+            DriverError::DimensionMismatch { register, programmed, actual } => write!(
+                f,
+                "register {register} programmed with {programmed} but the matrix has {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl<'a> Driver<'a> {
+    /// Creates a driver for an accelerator, with registers at their
+    /// power-on defaults (the standard region map).
+    pub fn new(accel: &'a Accelerator) -> Self {
+        Driver { accel, regs: ConfigRegisters::default() }
+    }
+
+    /// Executes one `mtx` write.
+    pub fn mtx(&mut self, write: MtxWrite) {
+        match write {
+            MtxWrite::AInfo(v) => self.regs.a_info_ptr = v,
+            MtxWrite::AData(v) => self.regs.a_data_ptr = v,
+            MtxWrite::BInfo(v) => self.regs.b_info_ptr = v,
+            MtxWrite::BData(v) => self.regs.b_data_ptr = v,
+            MtxWrite::CInfo(v) => self.regs.c_info_ptr = v,
+            MtxWrite::CData(v) => self.regs.c_data_ptr = v,
+            MtxWrite::ARows(v) => self.regs.a_rows = v,
+            MtxWrite::BRows(v) => self.regs.b_rows = v,
+            MtxWrite::X0(v) => self.regs.x0 = v,
+        }
+    }
+
+    /// Current register contents (host-readable).
+    pub fn registers(&self) -> ConfigRegisters {
+        self.regs
+    }
+
+    /// Launches the configured run, as the hardware would on seeing
+    /// `x0 == 1`, and blocks until completion (the host's wait loop).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::NotStarted`] if `x0` was not set;
+    /// [`DriverError::DimensionMismatch`] if the programmed dimension
+    /// registers disagree with the actual matrices — the kind of driver
+    /// bug this layer exists to catch.
+    pub fn launch(&mut self, a: &Csr<f64>, b: &Csr<f64>) -> Result<RunOutcome, DriverError> {
+        if self.regs.x0 != 1 {
+            return Err(DriverError::NotStarted);
+        }
+        if self.regs.a_rows != a.rows() as u64 {
+            return Err(DriverError::DimensionMismatch {
+                register: "a_rows",
+                programmed: self.regs.a_rows,
+                actual: a.rows() as u64,
+            });
+        }
+        if self.regs.b_rows != b.rows() as u64 {
+            return Err(DriverError::DimensionMismatch {
+                register: "b_rows",
+                programmed: self.regs.b_rows,
+                actual: b.rows() as u64,
+            });
+        }
+        let outcome = self.accel.run(a, b);
+        // Completion: hardware clears the start bit.
+        self.regs.x0 = 0;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MatRaptorConfig;
+    use matraptor_sparse::{gen, spgemm};
+
+    #[test]
+    fn full_programming_sequence() {
+        let a = gen::uniform(24, 24, 120, 2);
+        let accel = Accelerator::new(MatRaptorConfig::small_test());
+        let mut d = Driver::new(&accel);
+        d.mtx(MtxWrite::ARows(24));
+        d.mtx(MtxWrite::BRows(24));
+        d.mtx(MtxWrite::X0(1));
+        let outcome = d.launch(&a, &a).expect("launch");
+        assert!(outcome.c.approx_eq(&spgemm::gustavson(&a, &a), 1e-9));
+        // Hardware clears x0 on completion; relaunching needs a new start.
+        assert_eq!(d.registers().x0, 0);
+        assert!(matches!(d.launch(&a, &a), Err(DriverError::NotStarted)));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_caught() {
+        let a = gen::uniform(16, 16, 60, 3);
+        let accel = Accelerator::new(MatRaptorConfig::small_test());
+        let mut d = Driver::new(&accel);
+        d.mtx(MtxWrite::ARows(99));
+        d.mtx(MtxWrite::BRows(16));
+        d.mtx(MtxWrite::X0(1));
+        assert!(matches!(
+            d.launch(&a, &a),
+            Err(DriverError::DimensionMismatch { register: "a_rows", .. })
+        ));
+    }
+
+    #[test]
+    fn registers_power_on_to_the_region_map() {
+        let accel = Accelerator::new(MatRaptorConfig::small_test());
+        let d = Driver::new(&accel);
+        let r = d.registers();
+        assert_eq!(r.a_data_ptr, 0x1000_0000);
+        assert_eq!(r.c_data_ptr, 0x5000_0000);
+        assert_eq!(r.x0, 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! The MatRaptor accelerator model.
+//!
+//! This crate implements the micro-architecture of Section IV of the paper
+//! as a functional *and* cycle-level simulation:
+//!
+//! * [`SpAl`] — the Sparse Matrix A Loader: streams the rows of *A*
+//!   assigned to its lane from its HBM channel (C²SR guarantees the
+//!   assignment), forwarding `(a_ik, i, k)` tuples;
+//! * [`SpBl`] — the Sparse Matrix B Loader: for each `a_ik`, fetches row
+//!   *k* of *B* and forwards `(a_ik · b_kj, i, j)` products;
+//! * [`Pe`] — the processing element: one multiplier plus **two sets of Q
+//!   sorting queues** implementing the merge of Section IV-A, with Phase I
+//!   (merge-on-insert) and Phase II (min-column-id selection + adder tree)
+//!   double-buffered so they overlap (Fig. 5b);
+//! * a per-lane output writer that appends finished C rows to the lane's
+//!   channel in C²SR — no inter-PE synchronisation, the point of the
+//!   format;
+//! * [`Accelerator`] — the top level: a one-dimensional systolic
+//!   arrangement of `N` lanes (SpAL → SpBL → PE) over a shared [`Hbm`],
+//!   with round-robin row scheduling.
+//!
+//! Every run returns both the computed matrix (checked against the
+//! Gustavson reference in tests) and a [`MatRaptorStats`] with the
+//! busy/merge/memory cycle breakdown (Fig. 9), memory traffic, and
+//! achieved throughput (Fig. 7).
+//!
+//! [`Hbm`]: matraptor_mem::Hbm
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod accel;
+mod port;
+mod config;
+mod convert;
+mod driver;
+mod layout;
+mod pe;
+mod queue;
+mod spal;
+mod spbl;
+mod stats;
+mod tokens;
+mod writer;
+
+pub use accel::{Accelerator, RunOutcome};
+pub use config::MatRaptorConfig;
+pub use convert::{conversion_cycles, conversion_cycles_directed, ConversionDirection, ConversionReport};
+pub use driver::{ConfigRegisters, Driver, DriverError, MtxWrite};
+pub use pe::Pe;
+pub use spal::SpAl;
+pub use spbl::SpBl;
+pub use stats::MatRaptorStats;

@@ -1,0 +1,285 @@
+//! Sparse Matrix B Loader (SpBL).
+
+use std::collections::{HashMap, VecDeque};
+
+use matraptor_sparse::C2sr;
+
+use crate::config::MatRaptorConfig;
+use crate::layout::{MatrixLayout, INFO_BYTES};
+use crate::port::MemPort;
+use crate::tokens::{ATok, PeTok};
+
+/// The per-lane loader for matrix B (Section IV-B).
+///
+/// For every `(a_ik, i, k)` received from SpAL, SpBL fetches the *(row
+/// length, row pointer)* pair of B's row *k*, streams that row's data, and
+/// forwards one `a_ik · b_kj` product per cycle to the PE, followed by the
+/// end-of-vector / end-of-row markers the merge logic keys on.
+///
+/// Unlike A, matrix B is *shared* between lanes: row *k* lives on channel
+/// `k mod lanes`, so SpBL traffic crosses channels and causes the channel
+/// conflicts the paper identifies as the residual gap to peak bandwidth
+/// (Section VI-B).
+#[derive(Debug)]
+pub struct SpBl {
+    jobs: VecDeque<Job>,
+    next_seq: u64,
+    pending_info: HashMap<u64, u64>,
+    pending_data: HashMap<u64, DataSpan>,
+    staging: VecDeque<PeTok>,
+    in_flight: usize,
+    max_outstanding: usize,
+    staging_cap: usize,
+    job_window: usize,
+    /// Diagnostic counters: (blocked-on-data, blocked-on-info, staging-full, no-jobs) cycles.
+    pub(crate) blocked: [u64; 4],
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DataSpan {
+    job_seq: u64,
+    count: u32,
+}
+
+#[derive(Debug)]
+struct Job {
+    seq: u64,
+    kind: JobKind,
+    /// B row to fetch (for `Fetch` jobs).
+    b_row: u32,
+    a_val: f64,
+    out_row: u32,
+    last_in_row: bool,
+    info_requested: bool,
+    info_ready: bool,
+    plan: Option<VecDeque<(u64, u32)>>,
+    len: u32,
+    /// Entries whose data responses have arrived (contiguous prefix —
+    /// per-channel ordering guarantees in-order arrival within a job).
+    ready_entries: u32,
+    /// Entries already turned into product tokens.
+    drained_entries: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    /// Fetch B row `b_row` and emit products.
+    Fetch,
+    /// Pass-through marker for an empty A row.
+    EmptyRow,
+}
+
+impl SpBl {
+    pub(crate) fn new(cfg: &MatRaptorConfig) -> Self {
+        SpBl {
+            jobs: VecDeque::new(),
+            next_seq: 0,
+            pending_info: HashMap::new(),
+            pending_data: HashMap::new(),
+            staging: VecDeque::new(),
+            in_flight: 0,
+            max_outstanding: cfg.outstanding_requests,
+            staging_cap: 4 * cfg.coupling_fifo_depth,
+            job_window: 32,
+            blocked: [0; 4],
+        }
+    }
+
+    /// Routes a memory response to this unit. Returns `true` if consumed.
+    pub(crate) fn on_response(&mut self, id: u64) -> bool {
+        if let Some(seq) = self.pending_info.remove(&id) {
+            self.in_flight -= 1;
+            if let Some(job) = self.job_mut(seq) {
+                job.info_ready = true;
+            }
+            return true;
+        }
+        if let Some(span) = self.pending_data.remove(&id) {
+            self.in_flight -= 1;
+            if let Some(job) = self.job_mut(span.job_seq) {
+                job.ready_entries += span.count;
+            }
+            return true;
+        }
+        false
+    }
+
+    fn job_mut(&mut self, seq: u64) -> Option<&mut Job> {
+        let front_seq = self.jobs.front()?.seq;
+        let idx = (seq - front_seq) as usize;
+        self.jobs.get_mut(idx)
+    }
+
+    /// One accelerator cycle.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn tick(
+        &mut self,
+        port: &mut MemPort<'_>,
+        cfg: &MatRaptorConfig,
+        layout: &MatrixLayout,
+        b: &C2sr<f64>,
+        input: &mut VecDeque<ATok>,
+        out: &mut VecDeque<PeTok>,
+        out_cap: usize,
+    ) {
+        // Forward one token per cycle to the PE.
+        if out.len() < out_cap {
+            if let Some(tok) = self.staging.pop_front() {
+                out.push_back(tok);
+            }
+        }
+
+        // Accept new A tokens into the job window.
+        while self.jobs.len() < self.job_window {
+            let Some(tok) = input.pop_front() else { break };
+            let job = match tok {
+                ATok::Entry { val, row, col, last_in_row } => Job {
+                    seq: self.next_seq,
+                    kind: JobKind::Fetch,
+                    b_row: col,
+                    a_val: val,
+                    out_row: row,
+                    last_in_row,
+                    info_requested: false,
+                    info_ready: false,
+                    plan: None,
+                    len: 0,
+                    ready_entries: 0,
+                    drained_entries: 0,
+                },
+                ATok::EmptyRow { row } => Job {
+                    seq: self.next_seq,
+                    kind: JobKind::EmptyRow,
+                    b_row: 0,
+                    a_val: 0.0,
+                    out_row: row,
+                    last_in_row: true,
+                    info_requested: true,
+                    info_ready: true,
+                    plan: Some(VecDeque::new()),
+                    len: 0,
+                    ready_entries: 0,
+                    drained_entries: 0,
+                },
+            };
+            self.jobs.push_back(job);
+            self.next_seq += 1;
+        }
+
+        // Issue info and data requests in job order.
+        if self.staging.len() < self.staging_cap {
+            for idx in 0..self.jobs.len() {
+                if self.in_flight >= self.max_outstanding {
+                    break;
+                }
+                let (seq, kind, b_row, info_requested, info_ready, plan_built) = {
+                    let j = &self.jobs[idx];
+                    (j.seq, j.kind, j.b_row, j.info_requested, j.info_ready, j.plan.is_some())
+                };
+                if kind == JobKind::EmptyRow {
+                    continue;
+                }
+                if !info_requested {
+                    let addr = layout.info_addr(b_row as usize);
+                    if let Some(id) = port.try_read(addr, INFO_BYTES) {
+                        self.pending_info.insert(id, seq);
+                        self.in_flight += 1;
+                        self.jobs[idx].info_requested = true;
+                    }
+                    continue;
+                }
+                if info_ready && !plan_built {
+                    let info = b.row_info(b_row as usize);
+                    let channel = b.channel_of(b_row as usize);
+                    let plan = layout
+                        .row_data_requests(&cfg.mem, channel, info, cfg.read_request_bytes);
+                    self.jobs[idx].len = info.len;
+                    self.jobs[idx].plan = Some(plan.into());
+                }
+                if let Some(plan) = self.jobs[idx].plan.as_mut() {
+                    while let Some(&(addr, bytes)) = plan.front() {
+                        if self.in_flight >= self.max_outstanding {
+                            break;
+                        }
+                        match port.try_read(addr, bytes) {
+                            Some(id) => {
+                                plan.pop_front();
+                                let count = (bytes as u64 / layout.entry_bytes) as u32;
+                                self.pending_data.insert(id, DataSpan { job_seq: seq, count });
+                                self.in_flight += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+            }
+        }
+
+        // Drain the front job into staging, in order.
+        let mut drained_any = false;
+        loop {
+            if self.staging.len() >= self.staging_cap {
+                if !drained_any { self.blocked[2] += 1; }
+                break;
+            }
+            let Some(front) = self.jobs.front() else {
+                if !drained_any { self.blocked[3] += 1; }
+                break;
+            };
+            match front.kind {
+                JobKind::EmptyRow => {
+                    self.staging.push_back(PeTok::EndOfRow { row: front.out_row });
+                    self.jobs.pop_front();
+                }
+                JobKind::Fetch => {
+                    if !front.info_ready || front.plan.is_none() {
+                        if !drained_any { self.blocked[1] += 1; }
+                        break;
+                    }
+                    if front.drained_entries < front.ready_entries {
+                        let (b_cols, b_vals) = b.row_slices(front.b_row as usize);
+                        let e = front.drained_entries as usize;
+                        let val = front.a_val * b_vals[e];
+                        let col = b_cols[e];
+                        self.staging.push_back(PeTok::Product { val, col });
+                        self.jobs.front_mut().expect("front exists").drained_entries += 1;
+                        drained_any = true;
+                    } else if front.drained_entries == front.len
+                        && front.plan.as_ref().is_some_and(VecDeque::is_empty)
+                    {
+                        if front.len > 0 {
+                            self.staging.push_back(PeTok::EndOfVector);
+                        }
+                        if front.last_in_row {
+                            self.staging.push_back(PeTok::EndOfRow { row: front.out_row });
+                        }
+                        self.jobs.pop_front();
+                    } else {
+                        if !drained_any { self.blocked[0] += 1; }
+                        break; // waiting for data responses
+                    }
+                }
+            }
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> (usize, usize, usize, bool, bool, u32, u32, u32) {
+        let f = self.jobs.front();
+        (
+            self.in_flight,
+            self.jobs.len(),
+            self.staging.len(),
+            f.map(|j| j.info_ready).unwrap_or(false),
+            f.map(|j| j.plan.is_some()).unwrap_or(false),
+            f.map(|j| j.len).unwrap_or(0),
+            f.map(|j| j.ready_entries).unwrap_or(0),
+            f.map(|j| j.drained_entries).unwrap_or(0),
+        )
+    }
+
+    /// Whether all accepted jobs have been fully forwarded.
+    pub(crate) fn is_done(&self) -> bool {
+        self.jobs.is_empty() && self.staging.is_empty() && self.in_flight == 0
+    }
+}

@@ -1,0 +1,46 @@
+//! Tokens flowing between the pipeline stages of a lane.
+
+/// SpAL → SpBL: non-zeros of matrix A, plus a marker for empty rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ATok {
+    /// One non-zero `a_ik`.
+    Entry {
+        /// The value `a_ik`.
+        val: f64,
+        /// Row index `i` (a row assigned to this lane).
+        row: u32,
+        /// Column index `k` — selects the row of B to fetch.
+        col: u32,
+        /// Whether this is the last non-zero of row `i`.
+        last_in_row: bool,
+    },
+    /// Row `row` of A has no non-zeros; the corresponding output row is
+    /// empty but its *(length, pointer)* metadata must still be written.
+    EmptyRow {
+        /// The empty row's index.
+        row: u32,
+    },
+}
+
+/// SpBL → PE: products and row-structure markers.
+///
+/// The markers encode what the hardware knows implicitly from its row
+/// counters: when a scalar-vector product (one `a_ik` against B's row `k`)
+/// ends, and when an entire output row ends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum PeTok {
+    /// One partial product `a_ik · b_kj` destined for output column `j`.
+    Product {
+        /// The product value.
+        val: f64,
+        /// Output column `j`.
+        col: u32,
+    },
+    /// End of the current partial-sum vector (one `a_ik` exhausted).
+    EndOfVector,
+    /// End of output row `row`: Phase II may begin for it.
+    EndOfRow {
+        /// The finished output row index.
+        row: u32,
+    },
+}

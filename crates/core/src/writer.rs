@@ -1,0 +1,155 @@
+//! Per-lane output writer: streams finished C rows to the lane's channel.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::config::MatRaptorConfig;
+use crate::layout::{MatrixLayout, INFO_BYTES};
+use crate::port::MemPort;
+
+/// A finished output row held functionally until the run completes.
+#[derive(Debug, Clone)]
+pub(crate) struct FinishedRow {
+    pub row: u32,
+    pub cols: Vec<u32>,
+    pub vals: Vec<f64>,
+    /// Entries of padding left in the C²SR stream because the row
+    /// overflowed the sorting queues and was delegated to the CPU
+    /// (Section VII's upper-bound gap). Zero for normal rows.
+    pub padded_entries: u64,
+}
+
+/// The Phase II output path of a lane: buffers merged entries into
+/// burst-sized writes and appends them to the lane's own channel — no
+/// synchronisation with other lanes, which is the C²SR write-path claim of
+/// Section III-B.
+#[derive(Debug)]
+pub(crate) struct Writer {
+    lane: usize,
+    /// Channel-local byte cursor within the C data region.
+    local_cursor: u64,
+    /// Entries buffered toward the next burst write.
+    buffered_bytes: u32,
+    /// Write requests accepted by the buffer but not yet by the HBM.
+    queue: VecDeque<(u64, u32)>,
+    /// Ids of writes in flight.
+    pending: HashSet<u64>,
+    /// Current row being assembled.
+    cur_row: Option<u32>,
+    cur_cols: Vec<u32>,
+    cur_vals: Vec<f64>,
+    /// All completed rows, in completion (= row) order for this lane.
+    pub(crate) finished: Vec<FinishedRow>,
+    entry_bytes: u32,
+    queue_cap: usize,
+    /// Channel-local base of the C data region.
+    data_base_local: u64,
+}
+
+impl Writer {
+    pub(crate) fn new(lane: usize, cfg: &MatRaptorConfig, data_base_local: u64) -> Self {
+        Writer {
+            data_base_local,
+            lane,
+            local_cursor: 0,
+            buffered_bytes: 0,
+            queue: VecDeque::new(),
+            pending: HashSet::new(),
+            cur_row: None,
+            cur_cols: Vec::new(),
+            cur_vals: Vec::new(),
+            finished: Vec::new(),
+            entry_bytes: cfg.entry_bytes as u32,
+            queue_cap: 16,
+        }
+    }
+
+    /// Whether Phase II may emit another entry this cycle.
+    pub(crate) fn can_accept(&self) -> bool {
+        self.queue.len() < self.queue_cap
+    }
+
+    /// Accepts one merged `(col, val)` entry for row `row`.
+    pub(crate) fn push_entry(&mut self, row: u32, col: u32, val: f64, cfg: &MatRaptorConfig) {
+        debug_assert!(self.can_accept());
+        if self.cur_row != Some(row) {
+            debug_assert!(self.cur_row.is_none(), "previous row not finished");
+            self.cur_row = Some(row);
+        }
+        self.cur_cols.push(col);
+        self.cur_vals.push(val);
+        self.buffered_bytes += self.entry_bytes;
+        if self.buffered_bytes as u64 >= cfg.mem.interleave_bytes as u64 {
+            self.flush_data_burst(cfg);
+        }
+    }
+
+    /// Completes row `row`: flushes the partial burst and writes the
+    /// *(length, pointer)* metadata pair.
+    pub(crate) fn finish_row(&mut self, row: u32, cfg: &MatRaptorConfig, layout: &MatrixLayout) {
+        debug_assert!(self.cur_row.is_none() || self.cur_row == Some(row));
+        if self.buffered_bytes > 0 {
+            self.flush_data_burst(cfg);
+        }
+        self.queue.push_back((layout.info_addr(row as usize), INFO_BYTES));
+        self.finished.push(FinishedRow {
+            row,
+            cols: std::mem::take(&mut self.cur_cols),
+            vals: std::mem::take(&mut self.cur_vals),
+            padded_entries: 0,
+        });
+        self.cur_row = None;
+    }
+
+    /// Records an overflowed row (Section VII): the accelerator leaves an
+    /// upper-bound-sized gap in the output stream and hands the row to the
+    /// CPU; `cols`/`vals` carry the CPU-computed content so the run's
+    /// functional output stays complete.
+    pub(crate) fn record_overflow_row(
+        &mut self,
+        row: u32,
+        cols: Vec<u32>,
+        vals: Vec<f64>,
+        upper_bound_entries: u64,
+    ) {
+        debug_assert!(self.cur_row.is_none(), "overflow row with partial write state");
+        // The gap is address-space only: the hardware writes nothing here.
+        self.local_cursor += upper_bound_entries * self.entry_bytes as u64;
+        self.finished.push(FinishedRow { row, cols, vals, padded_entries: upper_bound_entries });
+    }
+
+    fn flush_data_burst(&mut self, cfg: &MatRaptorConfig) {
+        let addr = cfg.mem.channel_local_to_flat(self.lane, self.data_local_base() + self.local_cursor);
+        self.queue.push_back((addr, self.buffered_bytes));
+        self.local_cursor += self.buffered_bytes as u64;
+        self.buffered_bytes = 0;
+    }
+
+    /// Channel-local base of the C data region; stored on the layout at
+    /// construction time, duplicated here to keep flushes self-contained.
+    fn data_local_base(&self) -> u64 {
+        self.data_base_local
+    }
+
+    /// One accelerator cycle: issue at most one queued write.
+    pub(crate) fn tick(&mut self, port: &mut MemPort<'_>) {
+        if let Some(&(addr, bytes)) = self.queue.front() {
+            if let Some(id) = port.try_write(addr, bytes) {
+                self.pending.insert(id);
+                self.queue.pop_front();
+            }
+        }
+    }
+
+    /// Routes a write acknowledgement. Returns `true` if consumed.
+    pub(crate) fn on_response(&mut self, id: u64) -> bool {
+        self.pending.remove(&id)
+    }
+
+    /// Whether every accepted entry has been written and acknowledged.
+    pub(crate) fn is_done(&self) -> bool {
+        self.queue.is_empty()
+            && self.pending.is_empty()
+            && self.buffered_bytes == 0
+            && self.cur_row.is_none()
+    }
+}

@@ -1,0 +1,145 @@
+//! Component area/power breakdown — Table I of the paper.
+
+/// An (area, power) pair at TSMC 28 nm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaPower {
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+impl AreaPower {
+    /// Element-wise sum.
+    pub fn plus(self, other: AreaPower) -> AreaPower {
+        AreaPower { area_mm2: self.area_mm2 + other.area_mm2, power_mw: self.power_mw + other.power_mw }
+    }
+
+    /// Element-wise scale.
+    pub fn scaled(self, k: f64) -> AreaPower {
+        AreaPower { area_mm2: self.area_mm2 * k, power_mw: self.power_mw * k }
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentRow {
+    /// Component name as printed in the paper.
+    pub name: &'static str,
+    /// Whether this row is a sub-item (indented in the paper's table).
+    pub sub_item: bool,
+    /// Synthesis results at 28 nm.
+    pub cost: AreaPower,
+}
+
+/// The exact Table I rows (TSMC 28 nm, 8 lanes, 10 × 4 KB queues per PE).
+pub fn table1() -> Vec<ComponentRow> {
+    vec![
+        ComponentRow { name: "PE", sub_item: false, cost: AreaPower { area_mm2: 1.981, power_mw: 1050.57 } },
+        ComponentRow { name: "Logic", sub_item: true, cost: AreaPower { area_mm2: 0.080, power_mw: 43.08 } },
+        ComponentRow { name: "Sorting Queues", sub_item: true, cost: AreaPower { area_mm2: 1.901, power_mw: 1007.49 } },
+        ComponentRow { name: "SpAL", sub_item: false, cost: AreaPower { area_mm2: 0.129, power_mw: 144.15 } },
+        ComponentRow { name: "SpBL", sub_item: false, cost: AreaPower { area_mm2: 0.129, power_mw: 144.15 } },
+        ComponentRow { name: "Crossbars", sub_item: false, cost: AreaPower { area_mm2: 0.016, power_mw: 6.067 } },
+    ]
+}
+
+/// Parametric floorplan: Table I resized to a different lane count or
+/// queue configuration.
+///
+/// The paper's numbers are for 8 lanes with 10 × 4 KB queues; the dominant
+/// term (SRAM queues, 84 % of area) scales linearly in total SRAM bytes —
+/// the CACTI regime for small arrays — and the loaders/crossbar scale with
+/// the lane count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatRaptorFloorplan {
+    /// Number of lanes (PE + SpAL + SpBL rows).
+    pub num_lanes: usize,
+    /// Sorting queues per PE.
+    pub queues_per_pe: usize,
+    /// Bytes per sorting queue.
+    pub queue_bytes: usize,
+}
+
+impl Default for MatRaptorFloorplan {
+    fn default() -> Self {
+        MatRaptorFloorplan { num_lanes: 8, queues_per_pe: 10, queue_bytes: 4096 }
+    }
+}
+
+impl MatRaptorFloorplan {
+    const REF_LANES: f64 = 8.0;
+    const REF_SRAM_BYTES: f64 = 8.0 * 10.0 * 4096.0;
+
+    /// Total accelerator area and power at 28 nm.
+    pub fn total(&self) -> AreaPower {
+        let lanes = self.num_lanes as f64 / Self::REF_LANES;
+        let sram = (self.num_lanes * self.queues_per_pe * self.queue_bytes) as f64
+            / Self::REF_SRAM_BYTES;
+        let t1 = table1();
+        let logic = t1[1].cost.scaled(lanes);
+        let queues = t1[2].cost.scaled(sram);
+        let spal = t1[3].cost.scaled(lanes);
+        let spbl = t1[4].cost.scaled(lanes);
+        let xbar = t1[5].cost.scaled(lanes);
+        logic.plus(queues).plus(spal).plus(spbl).plus(xbar)
+    }
+
+    /// Accelerator power in watts.
+    pub fn power_w(&self) -> f64 {
+        self.total().power_mw / 1e3
+    }
+
+    /// Accelerator area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.total().area_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals_match_paper() {
+        // Paper: total 2.257 mm², 1344.95 mW (PE row already includes its
+        // sub-items).
+        let t = table1();
+        let total_area: f64 =
+            t.iter().filter(|r| !r.sub_item).map(|r| r.cost.area_mm2).sum();
+        let total_power: f64 =
+            t.iter().filter(|r| !r.sub_item).map(|r| r.cost.power_mw).sum();
+        assert!((total_area - 2.255).abs() < 0.01, "area {total_area}");
+        assert!((total_power - 1344.94).abs() < 0.5, "power {total_power}");
+    }
+
+    #[test]
+    fn pe_subitems_sum_to_pe_row() {
+        let t = table1();
+        let sub: f64 = t.iter().filter(|r| r.sub_item).map(|r| r.cost.area_mm2).sum();
+        assert!((sub - t[0].cost.area_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_floorplan_reproduces_table1_total() {
+        let fp = MatRaptorFloorplan::default();
+        assert!((fp.area_mm2() - 2.257).abs() < 0.01);
+        assert!((fp.power_w() - 1.34495).abs() < 0.001);
+    }
+
+    #[test]
+    fn queue_area_dominates_and_scales() {
+        // Doubling queue size should increase area by roughly the queue
+        // share (84 %), not double everything.
+        let big = MatRaptorFloorplan { queue_bytes: 8192, ..Default::default() };
+        let ratio = big.area_mm2() / MatRaptorFloorplan::default().area_mm2();
+        assert!(ratio > 1.7 && ratio < 1.9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn paper_area_claims_vs_outerspace() {
+        // 31.3x smaller than OuterSPACE's 70.2 mm² (scaled to 28 nm).
+        let ratio = 70.2 / MatRaptorFloorplan::default().area_mm2();
+        assert!((ratio - 31.1).abs() < 0.5, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in clock cycles of the component's
+/// own clock domain.
+///
+/// A newtype rather than a bare `u64` so that cycle counts, byte counts and
+/// entry counts — which the timing model juggles constantly — can never be
+/// confused (`C-NEWTYPE`).
+///
+/// # Example
+///
+/// ```rust
+/// use matraptor_sim::Cycle;
+///
+/// let start = Cycle(10);
+/// let end = start + 5;
+/// assert_eq!(end - start, 5);
+/// assert_eq!(end.as_u64(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The raw cycle count.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Converts a cycle count at `clock_ghz` into seconds.
+    pub fn to_seconds(self, clock_ghz: f64) -> f64 {
+        self.0 as f64 / (clock_ghz * 1e9)
+    }
+
+    /// The next cycle.
+    #[must_use]
+    pub fn next(self) -> Cycle {
+        Cycle(self.0 + 1)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    /// Elapsed cycles between two time points.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self` (time cannot
+    /// run backwards in a cycle-driven simulation).
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "cycle subtraction underflow: {self} - {rhs}");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let c = Cycle(100);
+        assert_eq!(c + 28, Cycle(128));
+        assert_eq!(Cycle(128) - c, 28);
+        assert_eq!(c.next(), Cycle(101));
+        let mut c2 = c;
+        c2 += 3;
+        assert_eq!(c2, Cycle(103));
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        // 2e9 cycles at 2 GHz = 1 second.
+        assert!((Cycle(2_000_000_000).to_seconds(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Cycle(3) < Cycle(5));
+        assert_eq!(Cycle::ZERO, Cycle(0));
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixed-latency delay line.
+
+use std::collections::VecDeque;
+
+use crate::Cycle;
+
+/// A delay line: items inserted at cycle *t* become visible at `t +
+/// latency`.
+///
+/// Models fixed-latency hardware paths — DRAM access latency, crossbar
+/// traversal, pipeline depth — on top of which the bandwidth-limiting
+/// logic of the channel model sits. Unbounded: admission control belongs
+/// to the [`crate::Fifo`] in front of it.
+///
+/// # Example
+///
+/// ```rust
+/// use matraptor_sim::{Cycle, LatencyPipe};
+///
+/// let mut pipe = LatencyPipe::new(3);
+/// pipe.push(Cycle(10), "req");
+/// assert_eq!(pipe.pop_ready(Cycle(12)), None);      // still in flight
+/// assert_eq!(pipe.pop_ready(Cycle(13)), Some("req"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyPipe<T> {
+    latency: u64,
+    in_flight: VecDeque<(Cycle, T)>,
+}
+
+impl<T> LatencyPipe<T> {
+    /// Creates a pipe with the given latency in cycles.
+    pub fn new(latency: u64) -> Self {
+        LatencyPipe { latency, in_flight: VecDeque::new() }
+    }
+
+    /// Inserts an item at time `now`; it matures at `now + latency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if items are pushed out of time order
+    /// (the cycle-driven top level always ticks monotonically).
+    pub fn push(&mut self, now: Cycle, item: T) {
+        let ready = now + self.latency;
+        debug_assert!(
+            self.in_flight.back().is_none_or(|(r, _)| *r <= ready),
+            "latency pipe pushed out of order"
+        );
+        self.in_flight.push_back((ready, item));
+    }
+
+    /// Removes and returns the oldest item whose maturity time has been
+    /// reached.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if self.in_flight.front().is_some_and(|(ready, _)| *ready <= now) {
+            self.in_flight.pop_front().map(|(_, item)| item)
+        } else {
+            None
+        }
+    }
+
+    /// Whether an item is ready at `now` (without consuming it).
+    pub fn has_ready(&self, now: Cycle) -> bool {
+        self.in_flight.front().is_some_and(|(ready, _)| *ready <= now)
+    }
+
+    /// Items currently in flight (ready or not).
+    pub fn len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Whether the pipe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// The configured latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_mature_in_order_after_latency() {
+        let mut p = LatencyPipe::new(5);
+        p.push(Cycle(0), 'a');
+        p.push(Cycle(2), 'b');
+        assert_eq!(p.pop_ready(Cycle(4)), None);
+        assert_eq!(p.pop_ready(Cycle(5)), Some('a'));
+        assert_eq!(p.pop_ready(Cycle(5)), None);
+        assert_eq!(p.pop_ready(Cycle(7)), Some('b'));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn zero_latency_is_same_cycle() {
+        let mut p = LatencyPipe::new(0);
+        p.push(Cycle(3), 1);
+        assert_eq!(p.pop_ready(Cycle(3)), Some(1));
+    }
+
+    #[test]
+    fn has_ready_does_not_consume() {
+        let mut p = LatencyPipe::new(1);
+        p.push(Cycle(0), ());
+        assert!(p.has_ready(Cycle(1)));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn multiple_ready_pop_one_per_call() {
+        let mut p = LatencyPipe::new(1);
+        p.push(Cycle(0), 1);
+        p.push(Cycle(0), 2);
+        assert_eq!(p.pop_ready(Cycle(10)), Some(1));
+        assert_eq!(p.pop_ready(Cycle(10)), Some(2));
+    }
+}

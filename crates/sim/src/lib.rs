@@ -1,0 +1,32 @@
+//! Cycle-driven simulation kernel for the MatRaptor model.
+//!
+//! The paper prototypes MatRaptor in gem5; this crate is the small,
+//! deterministic core our purpose-built simulator uses instead. It
+//! deliberately contains *no* randomness and no global event queue — every
+//! hardware component in `matraptor-mem` and `matraptor-core` exposes a
+//! `tick(now)` method and the top level advances all components one
+//! [`Cycle`] at a time, which makes simulations bit-reproducible and easy
+//! to reason about under test.
+//!
+//! Provided building blocks:
+//!
+//! * [`Cycle`] — a newtype for simulation time;
+//! * [`Fifo`] — a bounded queue with backpressure, the universal hardware
+//!   coupling element (the paper's "outstanding requests and responses
+//!   queues");
+//! * [`LatencyPipe`] — a delay line for modelling fixed-latency paths such
+//!   as DRAM access latency;
+//! * [`stats`] — counters and histograms for cycle accounting (Fig. 9's
+//!   busy/stall breakdown is built from these).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clock;
+mod fifo;
+mod latency;
+pub mod stats;
+
+pub use clock::Cycle;
+pub use fifo::Fifo;
+pub use latency::LatencyPipe;

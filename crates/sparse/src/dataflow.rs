@@ -1,0 +1,233 @@
+//! Analytic dataflow cost model from Section II of the paper.
+//!
+//! The paper compares the four SpGEMM dataflows along two axes under a set
+//! of simplifying assumptions (square N×N operands, `nnz` non-zeros in each
+//! input, `nnz'` in the output, uniform row degree):
+//!
+//! * **data reuse** — MACs performed per byte moved to/from memory;
+//! * **on-chip memory** — buffer bytes a PE needs to keep resident.
+//!
+//! [`MatrixParams::reuse`] and [`MatrixParams::on_chip_entries`] implement
+//! the table implied by Sections II-A through II-D; [`compare`] evaluates
+//! the model on a real matrix product and pairs it with empirically counted
+//! operations from the reference kernels.
+
+use crate::spgemm;
+use crate::{Csr, Scalar};
+
+/// The four ways of organising SpGEMM (Fig. 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// Row of A times column of B (dot products).
+    Inner,
+    /// Column of A times row of B (rank-1 updates).
+    Outer,
+    /// Row of A times rows of B (Gustavson) — the paper's choice.
+    RowWise,
+    /// Columns of A times column of B.
+    ColumnWise,
+}
+
+impl Dataflow {
+    /// All four dataflows, in the paper's presentation order.
+    pub const ALL: [Dataflow; 4] =
+        [Dataflow::Inner, Dataflow::Outer, Dataflow::RowWise, Dataflow::ColumnWise];
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataflow::Inner => "inner product",
+            Dataflow::Outer => "outer product",
+            Dataflow::RowWise => "row-wise product",
+            Dataflow::ColumnWise => "column-wise product",
+        }
+    }
+}
+
+/// The symbolic quantities of the Section II analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixParams {
+    /// Matrix dimension N (all matrices assumed N×N).
+    pub n: f64,
+    /// Non-zeros in each input matrix.
+    pub nnz: f64,
+    /// Non-zeros in the output matrix.
+    pub nnz_out: f64,
+}
+
+impl MatrixParams {
+    /// Extracts the model parameters from a concrete product `a * b = c`,
+    /// averaging the two inputs' nnz as the paper's single-`nnz`
+    /// assumption requires.
+    pub fn from_product<T: Scalar>(a: &Csr<T>, b: &Csr<T>, c: &Csr<T>) -> Self {
+        MatrixParams {
+            n: a.rows() as f64,
+            nnz: (a.nnz() + b.nnz()) as f64 / 2.0,
+            nnz_out: c.nnz() as f64,
+        }
+    }
+
+    /// Mean row degree `nnz / N`.
+    pub fn row_degree(&self) -> f64 {
+        self.nnz / self.n
+    }
+
+    /// Data reuse — MACs per element of memory traffic — for a dataflow,
+    /// per Section II:
+    ///
+    /// * inner: `(nnz'/nnz) · (1/N)` — vanishing for large N;
+    /// * outer: `nnz / N` — the best reuse, bought with huge buffers;
+    /// * row-/column-wise: `(nnz/N) / (1 + nnz/N)` — a scalar of A plus a
+    ///   row of B (`nnz/N` elements) yields `nnz/N` MACs.
+    pub fn reuse(&self, df: Dataflow) -> f64 {
+        let d = self.row_degree();
+        match df {
+            Dataflow::Inner => (self.nnz_out / self.nnz) / self.n,
+            Dataflow::Outer => d,
+            Dataflow::RowWise | Dataflow::ColumnWise => d / (1.0 + d),
+        }
+    }
+
+    /// On-chip buffer requirement in *elements* for a dataflow, per
+    /// Section II:
+    ///
+    /// * inner: `nnz/N` (one row + one column);
+    /// * outer: `nnz/N + nnz'` (inputs plus the whole output's partials);
+    /// * row-/column-wise: `nnz/N + nnz'/N` (one input row + one output
+    ///   row) — the kilobyte-scale footprint that lets MatRaptor be 31×
+    ///   smaller than OuterSPACE.
+    pub fn on_chip_entries(&self, df: Dataflow) -> f64 {
+        let d = self.row_degree();
+        match df {
+            Dataflow::Inner => d,
+            Dataflow::Outer => d + self.nnz_out,
+            Dataflow::RowWise | Dataflow::ColumnWise => d + self.nnz_out / self.n,
+        }
+    }
+
+    /// On-chip requirement in bytes given an entry size (value + column
+    /// id).
+    pub fn on_chip_bytes(&self, df: Dataflow, entry_bytes: usize) -> f64 {
+        self.on_chip_entries(df) * entry_bytes as f64
+    }
+}
+
+/// Model + measurement for one dataflow on a concrete product.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataflowCost {
+    /// Which dataflow this row describes.
+    pub dataflow: Dataflow,
+    /// Analytic reuse from [`MatrixParams::reuse`].
+    pub model_reuse: f64,
+    /// Analytic on-chip entries from [`MatrixParams::on_chip_entries`].
+    pub model_on_chip_entries: f64,
+    /// Operations counted by actually running the reference kernel.
+    pub measured: spgemm::OpStats,
+}
+
+/// Runs all four reference kernels on `a * b` and pairs the measured
+/// operation counts with the Section II analytic model.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn compare<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Vec<DataflowCost> {
+    let a_csc = a.to_csc();
+    let b_csc = b.to_csc();
+    let (c, row_stats) = spgemm::gustavson_with_stats(a, b);
+    let params = MatrixParams::from_product(a, b, &c);
+    let (_, inner_stats) = spgemm::inner_with_stats(a, &b_csc);
+    let (_, outer_stats) = spgemm::outer_with_stats(&a_csc, b);
+    let (_, col_stats) = spgemm::column_wise_with_stats(&a_csc, &b_csc);
+    vec![
+        DataflowCost {
+            dataflow: Dataflow::Inner,
+            model_reuse: params.reuse(Dataflow::Inner),
+            model_on_chip_entries: params.on_chip_entries(Dataflow::Inner),
+            measured: inner_stats,
+        },
+        DataflowCost {
+            dataflow: Dataflow::Outer,
+            model_reuse: params.reuse(Dataflow::Outer),
+            model_on_chip_entries: params.on_chip_entries(Dataflow::Outer),
+            measured: outer_stats,
+        },
+        DataflowCost {
+            dataflow: Dataflow::RowWise,
+            model_reuse: params.reuse(Dataflow::RowWise),
+            model_on_chip_entries: params.on_chip_entries(Dataflow::RowWise),
+            measured: row_stats,
+        },
+        DataflowCost {
+            dataflow: Dataflow::ColumnWise,
+            model_reuse: params.reuse(Dataflow::ColumnWise),
+            model_on_chip_entries: params.on_chip_entries(Dataflow::ColumnWise),
+            measured: col_stats,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn paper_scale_params() -> MatrixParams {
+        // N = 400K, nnz = 3.2M (amazon-like), nnz' ≈ 50M.
+        MatrixParams { n: 4e5, nnz: 3.2e6, nnz_out: 5e7 }
+    }
+
+    #[test]
+    fn inner_product_reuse_is_terrible_at_scale() {
+        let p = paper_scale_params();
+        // Section II-A: "the data reuse of inner product approach is very
+        // low for large matrices".
+        assert!(p.reuse(Dataflow::Inner) < 1e-3);
+        assert!(p.reuse(Dataflow::Outer) > 1.0);
+    }
+
+    #[test]
+    fn outer_product_needs_megabytes_row_wise_needs_kilobytes() {
+        let p = paper_scale_params();
+        let outer_bytes = p.on_chip_bytes(Dataflow::Outer, 12);
+        let row_bytes = p.on_chip_bytes(Dataflow::RowWise, 12);
+        // Paper: outer needs 100s of MB, row-wise a few KB.
+        assert!(outer_bytes > 100e6, "outer: {outer_bytes}");
+        assert!(row_bytes < 10e3, "row-wise: {row_bytes}");
+    }
+
+    #[test]
+    fn row_and_column_wise_are_symmetric() {
+        let p = paper_scale_params();
+        assert_eq!(p.reuse(Dataflow::RowWise), p.reuse(Dataflow::ColumnWise));
+        assert_eq!(
+            p.on_chip_entries(Dataflow::RowWise),
+            p.on_chip_entries(Dataflow::ColumnWise)
+        );
+    }
+
+    #[test]
+    fn compare_runs_all_dataflows_consistently() {
+        let a = gen::uniform(50, 50, 250, 3);
+        let costs = compare(&a, &a);
+        assert_eq!(costs.len(), 4);
+        // All dataflows compute the same output.
+        let nnz_out: Vec<u64> = costs.iter().map(|c| c.measured.output_nnz).collect();
+        assert!(nnz_out.windows(2).all(|w| w[0] == w[1]), "{nnz_out:?}");
+        // Useful multiplies identical for outer/row/column; inner does the
+        // same MACs but buried in index matching.
+        let mults: Vec<u64> = costs.iter().map(|c| c.measured.multiplies).collect();
+        assert_eq!(mults[1], mults[2]);
+        assert_eq!(mults[2], mults[3]);
+        assert_eq!(mults[0], mults[2]);
+        // Only inner product wastes index comparisons.
+        assert!(costs[0].measured.index_comparisons > 0);
+        assert_eq!(costs[2].measured.index_comparisons, 0);
+    }
+
+    #[test]
+    fn dataflow_names() {
+        assert_eq!(Dataflow::RowWise.name(), "row-wise product");
+        assert_eq!(Dataflow::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,173 @@
+//! Dense row-major matrix, used as the test oracle.
+
+use std::ops::{Index as StdIndex, IndexMut};
+
+use crate::{Csr, Index, Scalar};
+
+/// A dense row-major matrix.
+///
+/// Exists purely as an *oracle*: the O(N³) [`Dense::matmul`] is trivially
+/// correct, so every sparse SpGEMM kernel — and the accelerator's functional
+/// model — is tested against it on small inputs.
+///
+/// # Example
+///
+/// ```rust
+/// use matraptor_sparse::Dense;
+///
+/// let mut a = Dense::<f64>::zeros(2, 2);
+/// a[(0, 0)] = 2.0;
+/// a[(1, 1)] = 3.0;
+/// let c = a.matmul(&a);
+/// assert_eq!(c[(0, 0)], 4.0);
+/// assert_eq!(c[(1, 1)], 9.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Dense<T> {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Dense { rows, cols, data: vec![T::ZERO; rows * cols] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Classic triple-loop matrix multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Dense<T>) -> Dense<T> {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out: Dense<T> = Dense::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let prod = a.mul(rhs[(k, j)]);
+                    out[(i, j)] = out[(i, j)].add(prod);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over non-zero entries as `(row, col, value)`.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (Index, Index, T)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            (0..self.cols).filter_map(move |j| {
+                let v = self[(i, j)];
+                (!v.is_zero()).then_some((i as Index, j as Index, v))
+            })
+        })
+    }
+
+    /// Sparsifies into CSR, dropping exact zeros.
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut coo = crate::Coo::new(self.rows, self.cols);
+        coo.extend(self.iter_nonzero());
+        coo.compress()
+    }
+
+    /// Approximate elementwise equality with tolerance `tol`.
+    pub fn approx_eq(&self, other: &Dense<T>, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| a.abs_diff(b) <= tol)
+    }
+}
+
+impl<T> StdIndex<(usize, usize)> for Dense<T> {
+    type Output = T;
+
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Dense<T> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let eye = Csr::<i64>::identity(3).to_dense();
+        let mut a = Dense::<i64>::zeros(3, 3);
+        a[(0, 2)] = 7;
+        a[(2, 1)] = -4;
+        assert_eq!(eye.matmul(&a), a);
+        assert_eq!(a.matmul(&eye), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2]   [5 6]   [19 22]
+        // [3 4] x [7 8] = [43 50]
+        let mut a = Dense::<i64>::zeros(2, 2);
+        a[(0, 0)] = 1;
+        a[(0, 1)] = 2;
+        a[(1, 0)] = 3;
+        a[(1, 1)] = 4;
+        let mut b = Dense::<i64>::zeros(2, 2);
+        b[(0, 0)] = 5;
+        b[(0, 1)] = 6;
+        b[(1, 0)] = 7;
+        b[(1, 1)] = 8;
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19);
+        assert_eq!(c[(0, 1)], 22);
+        assert_eq!(c[(1, 0)], 43);
+        assert_eq!(c[(1, 1)], 50);
+    }
+
+    #[test]
+    fn rectangular_matmul_dims() {
+        let a = Dense::<f64>::zeros(2, 5);
+        let b = Dense::<f64>::zeros(5, 3);
+        let c = a.matmul(&b);
+        assert_eq!((c.rows(), c.cols()), (2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_dims_panic() {
+        let a = Dense::<f64>::zeros(2, 3);
+        let b = Dense::<f64>::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn csr_dense_round_trip() {
+        let m =
+            Csr::from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.5, -2.5, 4.0]).unwrap();
+        assert_eq!(m.to_dense().to_csr(), m);
+    }
+}

@@ -1,0 +1,100 @@
+//! Row-degree capping for synthetic power-law matrices.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Coo, Csr, Index, Scalar};
+
+/// Limits every row of `m` to at most `cap` non-zeros, relocating the
+/// excess entries to random under-full rows (total nnz is preserved
+/// unless the matrix cannot hold it, which cannot happen for `cap ≥
+/// nnz/N`... see Panics).
+///
+/// Plain R-MAT produces unboundedly skewed hubs as the matrix shrinks,
+/// but the real SuiteSparse graphs have hard degree caps (amazon0312's
+/// co-purchase lists stop at 10, web-Google's max out-degree is 456, …).
+/// The accelerator's sorting-queue capacity makes output-row size a
+/// first-order behaviour, so the synthetic suite caps degrees to match
+/// the originals.
+///
+/// # Panics
+///
+/// Panics if `cap * rows < nnz` (the matrix cannot hold the entries under
+/// the cap).
+pub fn cap_row_degree<T: Scalar>(m: &Csr<T>, cap: usize, seed: u64) -> Csr<T> {
+    let cap = cap.max(1);
+    assert!(
+        cap * m.rows() >= m.nnz(),
+        "cap {cap} too small for {} entries in {} rows",
+        m.nnz(),
+        m.rows()
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD15EA5E);
+    let mut coo = Coo::new(m.rows(), m.cols());
+    let mut degrees = vec![0usize; m.rows()];
+    let mut spill: Vec<(Index, T)> = Vec::new();
+
+    for (i, degree) in degrees.iter_mut().enumerate() {
+        for (n, (c, v)) in m.row(i).enumerate() {
+            if n < cap {
+                coo.push(i as Index, c, v);
+                *degree += 1;
+            } else {
+                spill.push((c, v));
+            }
+        }
+    }
+    // Relocate spilled entries to random rows with headroom, keeping their
+    // column (the value distribution is untouched). Collisions with an
+    // existing entry at (row, col) are summed by compress(), which changes
+    // nnz negligibly for sparse matrices.
+    for (c, v) in spill {
+        loop {
+            let r = rng.gen_range(0..m.rows());
+            if degrees[r] < cap {
+                coo.push(r as Index, c, v);
+                degrees[r] += 1;
+                break;
+            }
+        }
+    }
+    coo.compress()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{rmat, RmatParams};
+
+    #[test]
+    fn capped_matrix_respects_cap() {
+        let m = rmat(256, 4096, RmatParams::skewed(), 3);
+        assert!(m.max_row_nnz() > 40, "precondition: uncapped hub exists");
+        let capped = cap_row_degree(&m, 40, 3);
+        assert!(capped.max_row_nnz() <= 40);
+    }
+
+    #[test]
+    fn nnz_approximately_preserved() {
+        let m = rmat(256, 4096, RmatParams::skewed(), 4);
+        let capped = cap_row_degree(&m, 40, 4);
+        // Only column collisions during relocation can reduce nnz.
+        assert!(capped.nnz() as f64 > 0.97 * m.nnz() as f64);
+        assert!(capped.nnz() <= m.nnz());
+    }
+
+    #[test]
+    fn under_cap_matrix_unchanged() {
+        let m = rmat(128, 512, RmatParams::default(), 5);
+        let cap = m.max_row_nnz();
+        let capped = cap_row_degree(&m, cap, 5);
+        assert_eq!(capped, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn infeasible_cap_panics() {
+        let m = rmat(64, 640, RmatParams::default(), 6);
+        let _ = cap_row_degree(&m, 5, 6);
+    }
+}

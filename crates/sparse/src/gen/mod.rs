@@ -1,0 +1,64 @@
+//! Deterministic sparse matrix generators.
+//!
+//! Everything here is seeded ([`rand_chacha::ChaCha8Rng`]) so test failures
+//! and benchmark runs reproduce exactly. Each generator has a `*_with`
+//! variant taking a value-sampling closure for non-`f64` element types; the
+//! plain variants fill values uniformly in `[0.5, 1.5)` (bounded away from
+//! zero so products never cancel accidentally in float tests).
+//!
+//! [`suite`] holds the synthetic stand-ins for the paper's Table II
+//! SuiteSparse matrices.
+
+mod banded;
+mod cap;
+mod permute;
+mod regular;
+mod rmat;
+pub mod suite;
+mod uniform;
+
+pub use banded::{banded, banded_with};
+pub use cap::cap_row_degree;
+pub use permute::{permute_cols, permute_rows};
+pub use regular::{regular, regular_with};
+pub use rmat::{rmat, rmat_with, RmatParams};
+pub use uniform::{uniform, uniform_with};
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Default value sampler: uniform in `[0.5, 1.5)`.
+///
+/// Bounded away from zero so that randomly generated float matrices never
+/// contain accidental cancellations, keeping structural comparisons between
+/// algorithms exact.
+pub(crate) fn default_value(rng: &mut ChaCha8Rng) -> f64 {
+    rng.gen_range(0.5..1.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform(50, 50, 200, 42), uniform(50, 50, 200, 42));
+        assert_eq!(
+            rmat(64, 300, RmatParams::default(), 7),
+            rmat(64, 300, RmatParams::default(), 7)
+        );
+        assert_eq!(banded(50, 5, 200, 11), banded(50, 5, 200, 11));
+        assert_eq!(regular(50, 4, 13), regular(50, 4, 13));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(uniform(50, 50, 200, 1), uniform(50, 50, 200, 2));
+    }
+
+    #[test]
+    fn values_are_nonzero() {
+        let m = uniform(40, 40, 150, 3);
+        assert!(m.values().iter().all(|&v| v >= 0.5 && v < 1.5));
+    }
+}

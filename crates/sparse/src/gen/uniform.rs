@@ -1,0 +1,93 @@
+//! Uniform (Erdős–Rényi) random sparse matrices.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Coo, Csr, Index, Scalar};
+
+/// Generates a `rows × cols` matrix with exactly `nnz` non-zeros at
+/// uniformly random distinct positions.
+///
+/// # Panics
+///
+/// Panics if `nnz > rows * cols`.
+///
+/// # Example
+///
+/// ```rust
+/// use matraptor_sparse::gen;
+///
+/// let m = gen::uniform(100, 100, 500, 42);
+/// assert_eq!(m.nnz(), 500);
+/// ```
+pub fn uniform(rows: usize, cols: usize, nnz: usize, seed: u64) -> Csr<f64> {
+    uniform_with(rows, cols, nnz, seed, super::default_value)
+}
+
+/// [`uniform`] with a custom value sampler.
+///
+/// # Panics
+///
+/// Panics if `nnz > rows * cols`, or if the sampler returns an exact zero
+/// (which would silently change the structural nnz).
+pub fn uniform_with<T, F>(rows: usize, cols: usize, nnz: usize, seed: u64, mut value: F) -> Csr<T>
+where
+    T: Scalar,
+    F: FnMut(&mut ChaCha8Rng) -> T,
+{
+    assert!(
+        nnz <= rows.saturating_mul(cols),
+        "cannot place {nnz} non-zeros in a {rows}x{cols} matrix"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut taken = std::collections::HashSet::with_capacity(nnz * 2);
+    let mut coo = Coo::new(rows, cols);
+    while taken.len() < nnz {
+        let r = rng.gen_range(0..rows) as Index;
+        let c = rng.gen_range(0..cols) as Index;
+        if taken.insert((r, c)) {
+            let v = value(&mut rng);
+            assert!(!v.is_zero(), "value sampler must not produce zeros");
+            coo.push(r, c, v);
+        }
+    }
+    coo.compress()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_nnz() {
+        for nnz in [0, 1, 37, 100] {
+            assert_eq!(uniform(20, 20, nnz, 5).nnz(), nnz);
+        }
+    }
+
+    #[test]
+    fn full_matrix() {
+        let m = uniform(5, 5, 25, 6);
+        assert_eq!(m.nnz(), 25);
+        assert_eq!(m.density(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn overfull_panics() {
+        let _ = uniform(3, 3, 10, 7);
+    }
+
+    #[test]
+    fn rectangular_dims() {
+        let m = uniform(10, 30, 50, 8);
+        assert_eq!((m.rows(), m.cols()), (10, 30));
+    }
+
+    #[test]
+    fn integer_values() {
+        let m = uniform_with(10, 10, 20, 9, |rng| if rng.gen_bool(0.5) { 1i64 } else { -1 });
+        assert_eq!(m.nnz(), 20);
+        assert!(m.values().iter().all(|&v| v == 1 || v == -1));
+    }
+}

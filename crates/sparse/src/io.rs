@@ -1,0 +1,301 @@
+//! Matrix Market I/O.
+//!
+//! The paper's evaluation uses SuiteSparse matrices, which are distributed
+//! in the Matrix Market exchange format. This module reads and writes the
+//! `coordinate` flavour (`real`/`integer`/`pattern`, `general`/`symmetric`)
+//! so the benchmark harness can run against the *actual* SuiteSparse
+//! downloads whenever they are available, falling back to the synthetic
+//! suite otherwise.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::{Coo, Csr, Index, Scalar};
+
+/// Error produced while parsing a Matrix Market stream.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MatrixMarketError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// The format variant is valid Matrix Market but not supported here
+    /// (e.g. `array`, `complex`, `hermitian`).
+    Unsupported(String),
+    /// A data line failed to parse.
+    BadEntry {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MatrixMarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixMarketError::Io(e) => write!(f, "i/o error: {e}"),
+            MatrixMarketError::BadHeader(h) => write!(f, "malformed MatrixMarket header: {h}"),
+            MatrixMarketError::Unsupported(w) => write!(f, "unsupported MatrixMarket variant: {w}"),
+            MatrixMarketError::BadEntry { line, reason } => {
+                write!(f, "bad entry on line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MatrixMarketError {}
+
+impl From<std::io::Error> for MatrixMarketError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixMarketError::Io(e)
+    }
+}
+
+/// Reads a sparse matrix from a Matrix Market `coordinate` stream.
+///
+/// Supports `real`, `integer` and `pattern` fields (pattern entries get
+/// value 1) and the `general`, `symmetric` and `skew-symmetric` symmetry
+/// classes (symmetric entries are mirrored; skew entries mirrored with
+/// negation; diagonal entries are not duplicated).
+///
+/// # Errors
+///
+/// Returns [`MatrixMarketError`] on malformed input or an unsupported
+/// variant.
+///
+/// # Example
+///
+/// ```rust
+/// use matraptor_sparse::io::read_matrix_market;
+///
+/// let text = "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.5\n3 2 -2.0\n";
+/// let m = read_matrix_market(text.as_bytes())?;
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.get(2, 1), Some(-2.0));
+/// # Ok::<(), matraptor_sparse::io::MatrixMarketError>(())
+/// ```
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr<f64>, MatrixMarketError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header.
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| MatrixMarketError::BadHeader("empty input".into()))?;
+    let header = header?;
+    let lower = header.to_ascii_lowercase();
+    let fields: Vec<&str> = lower.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(MatrixMarketError::BadHeader(header));
+    }
+    if fields[2] != "coordinate" {
+        return Err(MatrixMarketError::Unsupported(format!("storage '{}'", fields[2])));
+    }
+    let field = fields[3];
+    if !matches!(field, "real" | "integer" | "pattern") {
+        return Err(MatrixMarketError::Unsupported(format!("field '{field}'")));
+    }
+    let symmetry = fields[4];
+    if !matches!(symmetry, "general" | "symmetric" | "skew-symmetric") {
+        return Err(MatrixMarketError::Unsupported(format!("symmetry '{symmetry}'")));
+    }
+
+    // Size line (after comments).
+    let mut size_line = None;
+    for (no, line) in lines.by_ref() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some((no + 1, trimmed.to_string()));
+        break;
+    }
+    let (size_no, size_line) =
+        size_line.ok_or_else(|| MatrixMarketError::BadHeader("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| MatrixMarketError::BadEntry { line: size_no, reason: e.to_string() })?;
+    let [rows, cols, nnz] = dims[..] else {
+        return Err(MatrixMarketError::BadEntry {
+            line: size_no,
+            reason: format!("expected 'rows cols nnz', got '{size_line}'"),
+        });
+    };
+
+    let mut coo = Coo::new(rows, cols);
+    let mut seen = 0usize;
+    for (no, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut toks = trimmed.split_whitespace();
+        let parse_idx = |t: Option<&str>, what: &str| -> Result<usize, MatrixMarketError> {
+            t.ok_or_else(|| MatrixMarketError::BadEntry {
+                line: no + 1,
+                reason: format!("missing {what}"),
+            })?
+            .parse::<usize>()
+            .map_err(|e| MatrixMarketError::BadEntry { line: no + 1, reason: e.to_string() })
+        };
+        let r = parse_idx(toks.next(), "row index")?;
+        let c = parse_idx(toks.next(), "column index")?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(MatrixMarketError::BadEntry {
+                line: no + 1,
+                reason: format!("index ({r},{c}) out of bounds for {rows}x{cols}"),
+            });
+        }
+        let v = match field {
+            "pattern" => 1.0,
+            _ => toks
+                .next()
+                .ok_or_else(|| MatrixMarketError::BadEntry {
+                    line: no + 1,
+                    reason: "missing value".into(),
+                })?
+                .parse::<f64>()
+                .map_err(|e| MatrixMarketError::BadEntry { line: no + 1, reason: e.to_string() })?,
+        };
+        let (r0, c0) = ((r - 1) as Index, (c - 1) as Index);
+        coo.push(r0, c0, v);
+        match symmetry {
+            "symmetric" if r != c => coo.push(c0, r0, v),
+            "skew-symmetric" if r != c => coo.push(c0, r0, -v),
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(MatrixMarketError::BadEntry {
+            line: 0,
+            reason: format!("size line promised {nnz} entries, found {seen}"),
+        });
+    }
+    Ok(coo.compress())
+}
+
+/// Writes a matrix as Matrix Market `coordinate real general`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```rust
+/// use matraptor_sparse::{io, Csr};
+///
+/// let m = Csr::<f64>::identity(2);
+/// let mut out = Vec::new();
+/// io::write_matrix_market(&mut out, &m)?;
+/// let back = io::read_matrix_market(out.as_slice())?;
+/// assert_eq!(back, m);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_matrix_market<W: Write, T: Scalar + fmt::Display>(
+    mut writer: W,
+    m: &Csr<T>,
+) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by the matraptor reproduction")?;
+    writeln!(writer, "{} {} {}", m.rows(), m.cols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn round_trip() {
+        let m = gen::uniform(30, 20, 120, 5);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m).expect("write");
+        let back = read_matrix_market(buf.as_slice()).expect("read");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn symmetric_entries_are_mirrored() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 7.0\n";
+        let m = read_matrix_market(text.as_bytes()).expect("read");
+        assert_eq!(m.get(1, 0), Some(5.0));
+        assert_eq!(m.get(0, 1), Some(5.0));
+        assert_eq!(m.get(2, 2), Some(7.0));
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn skew_symmetric_negates() {
+        let text =
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n";
+        let m = read_matrix_market(text.as_bytes()).expect("read");
+        assert_eq!(m.get(1, 0), Some(3.0));
+        assert_eq!(m.get(0, 1), Some(-3.0));
+    }
+
+    #[test]
+    fn pattern_matrices_get_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m = read_matrix_market(text.as_bytes()).expect("read");
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% mid\n1 1 4.5\n";
+        let m = read_matrix_market(text.as_bytes()).expect("read");
+        assert_eq!(m.get(0, 0), Some(4.5));
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_summed() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n1 1 2.0\n";
+        let m = read_matrix_market(text.as_bytes()).expect("read");
+        assert_eq!(m.get(0, 0), Some(3.0));
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(matches!(
+            read_matrix_market("garbage\n".as_bytes()),
+            Err(MatrixMarketError::BadHeader(_))
+        ));
+        assert!(matches!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()),
+            Err(MatrixMarketError::Unsupported(_))
+        ));
+        assert!(matches!(
+            read_matrix_market(
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1.0\n".as_bytes()
+            ),
+            Err(MatrixMarketError::BadEntry { .. })
+        ));
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(short.as_bytes()),
+            Err(MatrixMarketError::BadEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn one_based_indices() {
+        // (1,1) in the file is (0,0) in the matrix.
+        let text = "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 9.0\n";
+        let m = read_matrix_market(text.as_bytes()).expect("read");
+        assert_eq!(m.get(0, 0), Some(9.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! The numeric element trait shared by every matrix format.
+
+use std::fmt;
+
+/// Numeric element of a sparse matrix.
+///
+/// A deliberately small alternative to pulling in `num-traits`: the SpGEMM
+/// kernels only ever need a zero, a one, addition and multiplication. The
+/// trait is implemented for `f64`/`f32` (the types the accelerator datapath
+/// models) and for `i64`, which gives property-based tests exact arithmetic
+/// so they can demand bit-identical agreement between algorithms.
+///
+/// # Example
+///
+/// ```rust
+/// use matraptor_sparse::Scalar;
+///
+/// fn dot<T: Scalar>(xs: &[T], ys: &[T]) -> T {
+///     xs.iter().zip(ys).fold(T::ZERO, |acc, (&x, &y)| acc.add(x.mul(y)))
+/// }
+/// assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub trait Scalar: Copy + PartialEq + fmt::Debug + Send + Sync + 'static {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// `self + rhs`. Named method (rather than an `Add` bound) so the trait
+    /// stays implementable for foreign wrapper types without operator
+    /// overloads.
+    fn add(self, rhs: Self) -> Self;
+
+    /// `self * rhs`.
+    fn mul(self, rhs: Self) -> Self;
+
+    /// Absolute difference as `f64`, used by approximate-equality checks in
+    /// tests and by the functional-vs-reference cross-check in the
+    /// accelerator model.
+    fn abs_diff(self, rhs: Self) -> f64;
+
+    /// Whether this value is exactly the additive identity. Kernels use it
+    /// to drop explicit zeros produced by cancellation.
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+
+    #[inline]
+    fn abs_diff(self, rhs: Self) -> f64 {
+        (self - rhs).abs()
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+
+    #[inline]
+    fn abs_diff(self, rhs: Self) -> f64 {
+        f64::from((self - rhs).abs())
+    }
+}
+
+impl Scalar for i64 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.wrapping_mul(rhs)
+    }
+
+    #[inline]
+    fn abs_diff(self, rhs: Self) -> f64 {
+        (self.wrapping_sub(rhs)).unsigned_abs() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_identities() {
+        assert_eq!(f64::ZERO.add(3.5), 3.5);
+        assert_eq!(f64::ONE.mul(3.5), 3.5);
+        assert!(f64::ZERO.is_zero());
+        assert!(!1.0f64.is_zero());
+    }
+
+    #[test]
+    fn i64_exact() {
+        assert_eq!(2i64.mul(3).add(4), 10);
+        // Call through the trait — i64 has an inherent `abs_diff` that
+        // returns u64 and would otherwise shadow it.
+        assert_eq!(Scalar::abs_diff(5i64, 2), 3.0);
+        assert_eq!(Scalar::abs_diff(2i64, 5), 3.0);
+    }
+
+    #[test]
+    fn f32_abs_diff_is_f64() {
+        let d = 1.5f32.abs_diff(1.0);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrapping_does_not_panic() {
+        let _ = i64::MAX.add(1);
+        let _ = i64::MAX.mul(2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Column-wise product dataflow (the mirror of row-wise product).
+
+use super::OpStats;
+use crate::{Csc, Index, Scalar};
+
+/// Multiplies `a * b` with the column-wise product: for each non-zero
+/// `b[k,j]`, the scalar-vector product `A[:,k] * b[k,j]` is merged into
+/// column `j` of the output (Eq. 4 of the paper).
+///
+/// Structurally the transpose-dual of [`super::gustavson`] — same data
+/// reuse, same on-chip requirements (Section II-D), which is why the paper
+/// analyses it and then builds the row-wise variant. Returns CSC since the
+/// output is produced column-major.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn column_wise<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> Csc<T> {
+    column_wise_with_stats(a, b).0
+}
+
+/// [`column_wise`] plus operation counts.
+pub fn column_wise_with_stats<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> (Csc<T>, OpStats) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions must agree: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut stats = OpStats::default();
+    let mut col_ptr = vec![0usize; b.cols() + 1];
+    let mut row_idx: Vec<Index> = Vec::new();
+    let mut values: Vec<T> = Vec::new();
+
+    let mut acc: Vec<(Index, T)> = Vec::new();
+    let mut next: Vec<(Index, T)> = Vec::new();
+
+    for j in 0..b.cols() {
+        acc.clear();
+        for (k, b_kj) in b.col(j) {
+            let (a_rows, a_vals) = a.col_slices(k as usize);
+            if a_rows.is_empty() {
+                continue;
+            }
+            stats.multiplies += a_rows.len() as u64;
+            // Merge scale*A[:,k] into the sorted accumulator.
+            next.clear();
+            let mut ai = 0;
+            let mut bi = 0;
+            while ai < acc.len() && bi < a_rows.len() {
+                let (ar, av) = acc[ai];
+                let br = a_rows[bi];
+                if ar < br {
+                    next.push((ar, av));
+                    ai += 1;
+                } else if ar > br {
+                    next.push((br, b_kj.mul(a_vals[bi])));
+                    bi += 1;
+                } else {
+                    stats.additions += 1;
+                    next.push((ar, av.add(b_kj.mul(a_vals[bi]))));
+                    ai += 1;
+                    bi += 1;
+                }
+            }
+            next.extend_from_slice(&acc[ai..]);
+            for k2 in bi..a_rows.len() {
+                next.push((a_rows[k2], b_kj.mul(a_vals[k2])));
+            }
+            std::mem::swap(&mut acc, &mut next);
+        }
+        for &(r, v) in &acc {
+            if !v.is_zero() {
+                row_idx.push(r);
+                values.push(v);
+            }
+        }
+        col_ptr[j + 1] = row_idx.len();
+    }
+
+    stats.output_nnz = row_idx.len() as u64;
+    (
+        Csc::from_parts_unchecked(a.rows(), b.cols(), col_ptr, row_idx, values),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::spgemm::gustavson;
+    use crate::Csr;
+
+    #[test]
+    fn agrees_with_gustavson_exactly_on_integers() {
+        let a = gen::rmat_with(60, 420, gen::RmatParams::default(), 81, |rng| {
+            use rand::Rng;
+            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8)).unwrap()
+        });
+        let b = gen::rmat_with(60, 400, gen::RmatParams::default(), 82, |rng| {
+            use rand::Rng;
+            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8)).unwrap()
+        });
+        assert_eq!(column_wise(&a.to_csc(), &b.to_csc()).to_csr(), gustavson(&a, &b));
+    }
+
+    #[test]
+    fn column_stats_mirror_row_stats_on_transpose() {
+        // column_wise(Aᵀ, Bᵀ) should do the same multiply count as
+        // gustavson(B, A) (transpose duality).
+        let a = gen::uniform(40, 40, 200, 91);
+        let b = gen::uniform(40, 40, 220, 92);
+        let (_, col_stats) = column_wise_with_stats(&b.transpose().to_csc(), &a.transpose().to_csc());
+        let (_, row_stats) = crate::spgemm::gustavson_with_stats(&a, &b);
+        assert_eq!(col_stats.multiplies, row_stats.multiplies);
+        assert_eq!(col_stats.output_nnz, row_stats.output_nnz);
+    }
+
+    #[test]
+    fn identity_column_product() {
+        let eye = Csr::<f64>::identity(6).to_csc();
+        let c = column_wise(&eye, &eye);
+        assert_eq!(c.to_csr(), Csr::<f64>::identity(6));
+    }
+}

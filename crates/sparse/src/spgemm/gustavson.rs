@@ -1,0 +1,184 @@
+//! Row-wise product (Gustavson's algorithm) — the paper's chosen dataflow.
+
+use super::OpStats;
+use crate::{Csr, Index, Scalar};
+
+/// Multiplies `a * b` with the row-wise product: for each non-zero
+/// `a[i,k]`, the scalar-vector product `a[i,k] * B[k,:]` is merged into row
+/// `i` of the output (Eq. 3 of the paper).
+///
+/// The per-row merge uses sorted-list two-way merging, which is exactly the
+/// semantics of the accelerator's sorting-queue hardware (Section IV-A) —
+/// so this function doubles as the functional reference the accelerator
+/// model is validated against.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```rust
+/// use matraptor_sparse::{spgemm, Csr};
+///
+/// let a = Csr::<f64>::identity(3);
+/// let c = spgemm::gustavson(&a, &a);
+/// assert_eq!(c, a);
+/// ```
+pub fn gustavson<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    gustavson_with_stats(a, b).0
+}
+
+/// [`gustavson`] plus operation counts.
+pub fn gustavson_with_stats<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> (Csr<T>, OpStats) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions must agree: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut stats = OpStats::default();
+    let mut row_ptr = vec![0usize; a.rows() + 1];
+    let mut col_idx: Vec<Index> = Vec::new();
+    let mut values: Vec<T> = Vec::new();
+
+    // Double-buffered row accumulators, reused across rows to avoid
+    // per-row allocation.
+    let mut acc: Vec<(Index, T)> = Vec::new();
+    let mut next: Vec<(Index, T)> = Vec::new();
+
+    for i in 0..a.rows() {
+        acc.clear();
+        for (k, a_ik) in a.row(i) {
+            let (b_cols, b_vals) = b.row_slices(k as usize);
+            if b_cols.is_empty() {
+                continue;
+            }
+            stats.multiplies += b_cols.len() as u64;
+            merge_scaled_row(&mut acc, &mut next, a_ik, b_cols, b_vals, &mut stats);
+            std::mem::swap(&mut acc, &mut next);
+        }
+        for &(c, v) in &acc {
+            if !v.is_zero() {
+                col_idx.push(c);
+                values.push(v);
+            }
+        }
+        row_ptr[i + 1] = col_idx.len();
+    }
+
+    stats.output_nnz = col_idx.len() as u64;
+    (Csr::from_parts_unchecked(a.rows(), b.cols(), row_ptr, col_idx, values), stats)
+}
+
+/// Merges `scale * (cols, vals)` into the sorted accumulator `acc`,
+/// writing the result to `out` (cleared first). Mirrors the queue-merge
+/// step of the PE: one comparison per emitted element, one addition per
+/// column collision.
+#[allow(clippy::ptr_arg)] // acc is swapped with `out`, so both must be Vecs
+fn merge_scaled_row<T: Scalar>(
+    acc: &mut Vec<(Index, T)>,
+    out: &mut Vec<(Index, T)>,
+    scale: T,
+    cols: &[Index],
+    vals: &[T],
+    stats: &mut OpStats,
+) {
+    out.clear();
+    out.reserve(acc.len() + cols.len());
+    let mut ai = 0;
+    let mut bi = 0;
+    while ai < acc.len() && bi < cols.len() {
+        let (ac, av) = acc[ai];
+        let bc = cols[bi];
+        if ac < bc {
+            out.push((ac, av));
+            ai += 1;
+        } else if ac > bc {
+            out.push((bc, scale.mul(vals[bi])));
+            bi += 1;
+        } else {
+            stats.additions += 1;
+            out.push((ac, av.add(scale.mul(vals[bi]))));
+            ai += 1;
+            bi += 1;
+        }
+    }
+    out.extend_from_slice(&acc[ai..]);
+    for k in bi..cols.len() {
+        out.push((cols[k], scale.mul(vals[k])));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = gen::uniform(20, 20, 60, 1);
+        let eye = Csr::<f64>::identity(20);
+        assert!(gustavson(&a, &eye).approx_eq(&a, 1e-12));
+        assert!(gustavson(&eye, &a).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn matches_dense_oracle() {
+        let a = gen::uniform(25, 30, 120, 2);
+        let b = gen::uniform(30, 20, 110, 3);
+        let oracle = a.to_dense().matmul(&b.to_dense());
+        assert!(gustavson(&a, &b).to_dense().approx_eq(&oracle, 1e-9));
+    }
+
+    #[test]
+    fn zero_times_anything_is_zero() {
+        let z = Csr::<f64>::zero(10, 15);
+        let b = gen::uniform(15, 10, 50, 4);
+        let c = gustavson(&z, &b);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!((c.rows(), c.cols()), (10, 10));
+    }
+
+    #[test]
+    fn cancellation_drops_entries() {
+        // Row [1, -1] times B with identical rows cancels exactly.
+        let a = Csr::from_parts(1, 2, vec![0, 2], vec![0, 1], vec![1i64, -1]).unwrap();
+        let b =
+            Csr::from_parts(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1], vec![3, 4, 3, 4]).unwrap();
+        let c = gustavson(&a, &b);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn stats_count_mults_and_adds() {
+        // A = [1 1], B rows both [1 at col 0], so 2 multiplies, 1 addition.
+        let a = Csr::from_parts(1, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).unwrap();
+        let b = Csr::from_parts(2, 1, vec![0, 1, 2], vec![0, 0], vec![1.0, 1.0]).unwrap();
+        let (c, stats) = gustavson_with_stats(&a, &b);
+        assert_eq!(stats.multiplies, 2);
+        assert_eq!(stats.additions, 1);
+        assert_eq!(c.get(0, 0), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Csr::<f64>::identity(3);
+        let b = Csr::<f64>::identity(4);
+        let _ = gustavson(&a, &b);
+    }
+
+    #[test]
+    fn rectangular_chain() {
+        // (2x5)(5x3) -> 2x3
+        let a = gen::uniform(2, 5, 6, 5);
+        let b = gen::uniform(5, 3, 8, 6);
+        let c = gustavson(&a, &b);
+        assert_eq!((c.rows(), c.cols()), (2, 3));
+        assert!(c.to_dense().approx_eq(&a.to_dense().matmul(&b.to_dense()), 1e-9));
+    }
+}

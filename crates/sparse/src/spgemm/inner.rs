@@ -1,0 +1,129 @@
+//! Inner-product dataflow (row of A · column of B).
+
+use super::OpStats;
+use crate::{Csc, Csr, Index, Scalar};
+
+/// Multiplies `a * b` with the inner-product dataflow: every output entry
+/// `C[i,j]` is a sparse dot product of A's row *i* and B's column *j*
+/// (Eq. 1 of the paper).
+///
+/// The operand formats differ (CSR × CSC) — the paper's first complaint
+/// about this dataflow. Its second and third complaints are visible in the
+/// returned [`OpStats`] of [`inner_with_stats`]: dot products are attempted
+/// for *every* candidate output position reachable from the sparsity
+/// structure, and most index comparisons produce no MAC.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn inner<T: Scalar>(a: &Csr<T>, b: &Csc<T>) -> Csr<T> {
+    inner_with_stats(a, b).0
+}
+
+/// [`inner`] plus operation counts.
+pub fn inner_with_stats<T: Scalar>(a: &Csr<T>, b: &Csc<T>) -> (Csr<T>, OpStats) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions must agree: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut stats = OpStats::default();
+    let mut row_ptr = vec![0usize; a.rows() + 1];
+    let mut col_idx: Vec<Index> = Vec::new();
+    let mut values: Vec<T> = Vec::new();
+
+    for i in 0..a.rows() {
+        let (a_cols, a_vals) = a.row_slices(i);
+        if a_cols.is_empty() {
+            row_ptr[i + 1] = col_idx.len();
+            continue;
+        }
+        for j in 0..b.cols() {
+            let (b_rows, b_vals) = b.col_slices(j);
+            if b_rows.is_empty() {
+                continue;
+            }
+            // Sorted two-pointer index matching — the "inefficient index
+            // matching" hardware of ExTensor-style designs.
+            let mut ai = 0;
+            let mut bi = 0;
+            let mut acc = T::ZERO;
+            let mut hit = false;
+            while ai < a_cols.len() && bi < b_rows.len() {
+                stats.index_comparisons += 1;
+                if a_cols[ai] < b_rows[bi] {
+                    ai += 1;
+                } else if a_cols[ai] > b_rows[bi] {
+                    bi += 1;
+                } else {
+                    stats.multiplies += 1;
+                    if hit {
+                        stats.additions += 1;
+                    }
+                    acc = acc.add(a_vals[ai].mul(b_vals[bi]));
+                    hit = true;
+                    ai += 1;
+                    bi += 1;
+                }
+            }
+            if hit && !acc.is_zero() {
+                col_idx.push(j as Index);
+                values.push(acc);
+            }
+        }
+        row_ptr[i + 1] = col_idx.len();
+    }
+
+    stats.output_nnz = col_idx.len() as u64;
+    (Csr::from_parts_unchecked(a.rows(), b.cols(), row_ptr, col_idx, values), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::spgemm::gustavson;
+
+    #[test]
+    fn agrees_with_gustavson_exactly_on_integers() {
+        let a = gen::rmat_with(80, 500, gen::RmatParams::default(), 51, |rng| {
+            use rand::Rng;
+            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8)).unwrap()
+        });
+        assert_eq!(inner(&a, &a.to_csc()), gustavson(&a, &a));
+    }
+
+    #[test]
+    fn fig1a_no_match_no_mac() {
+        // Disjoint index sets: comparisons happen, no MAC (the paper's
+        // "4 index matching operations but no MAC" callout in Fig. 1a).
+        let a = Csr::from_parts(1, 8, vec![0, 2], vec![0, 2], vec![1.0, 1.0]).unwrap();
+        let b_csr =
+            Csr::from_parts(8, 1, vec![0, 0, 1, 1, 2, 2, 2, 2, 2], vec![0, 0], vec![1.0, 1.0])
+                .unwrap();
+        let (c, stats) = inner_with_stats(&a, &b_csr.to_csc());
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(stats.multiplies, 0);
+        assert!(stats.index_comparisons > 0);
+    }
+
+    #[test]
+    fn diagonal_inner_product() {
+        let eye = Csr::<f64>::identity(5);
+        let c = inner(&eye, &eye.to_csc());
+        assert_eq!(c, eye);
+    }
+
+    #[test]
+    fn exact_cancellation_is_dropped() {
+        // Row [1, 1] dot column [1, -1] = 0 — entry must not be stored.
+        let a = Csr::from_parts(1, 2, vec![0, 2], vec![0, 1], vec![1i64, 1]).unwrap();
+        let b = Csr::from_parts(2, 1, vec![0, 1, 2], vec![0, 0], vec![1i64, -1]).unwrap();
+        let c = inner(&a, &b.to_csc());
+        assert_eq!(c.nnz(), 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Submatrix extraction.
+
+use crate::{Csr, Index, Scalar};
+
+/// Extracts the top-left `k × k` submatrix.
+///
+/// Section V-D of the paper builds its A×B experiment set by taking the
+/// top-left 10K×10K tiles of each SuiteSparse matrix so that matrices of
+/// different original sizes become conformable while keeping their sparsity
+/// structure (a technique from Kurt et al., HiPC'17). `k` is clamped to the
+/// matrix dimensions.
+///
+/// # Example
+///
+/// ```rust
+/// use matraptor_sparse::{top_left, Csr};
+///
+/// let eye = Csr::<f64>::identity(100);
+/// let tile = top_left(&eye, 10);
+/// assert_eq!((tile.rows(), tile.cols()), (10, 10));
+/// assert_eq!(tile.nnz(), 10);
+/// ```
+pub fn top_left<T: Scalar>(m: &Csr<T>, k: usize) -> Csr<T> {
+    let rows = k.min(m.rows());
+    let cols = k.min(m.cols());
+    let mut coo = crate::Coo::new(rows, cols);
+    for i in 0..rows {
+        for (c, v) in m.row(i) {
+            if (c as usize) < cols {
+                coo.push(i as Index, c, v);
+            }
+        }
+    }
+    coo.compress()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_corner() {
+        // 3x3 with entries at (0,0), (0,2), (2,1).
+        let m = Csr::from_parts(3, 3, vec![0, 2, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
+            .unwrap();
+        let t = top_left(&m, 2);
+        assert_eq!((t.rows(), t.cols()), (2, 2));
+        assert_eq!(t.nnz(), 1); // (0,2) falls outside, (2,1) outside; only (0,0)
+        assert_eq!(t.get(0, 0), Some(1.0));
+    }
+
+    #[test]
+    fn oversized_k_is_clamped() {
+        let m = Csr::<f64>::identity(4);
+        let t = top_left(&m, 100);
+        assert_eq!(t, m);
+    }
+
+    #[test]
+    fn zero_k_gives_empty() {
+        let m = Csr::<f64>::identity(4);
+        let t = top_left(&m, 0);
+        assert_eq!((t.rows(), t.cols(), t.nnz()), (0, 0, 0));
+    }
+}

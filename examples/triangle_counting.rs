@@ -1,0 +1,60 @@
+//! Triangle counting via SpGEMM — one of the graph kernels the paper's
+//! introduction motivates (Azad et al., "Parallel triangle counting and
+//! enumeration using matrix algebra").
+//!
+//! For an undirected graph with adjacency matrix A, the number of
+//! triangles is `trace(A³) / 6`; the masked formulation used here counts
+//! `Σ (A·A) ⊙ A / 6` — one accelerator SpGEMM plus an element-wise mask.
+//!
+//! Run with: `cargo run --release --example triangle_counting`
+
+use matraptor::accel::{Accelerator, MatRaptorConfig};
+use matraptor::sparse::{gen, ops, Coo, Csr};
+
+/// Symmetrises a directed random graph and zeroes its diagonal, producing
+/// an undirected simple-graph adjacency matrix with unit weights.
+fn undirected(g: &Csr<f64>) -> Csr<f64> {
+    let mut coo = Coo::new(g.rows(), g.cols());
+    for (r, c, _) in g.iter() {
+        if r != c {
+            coo.push(r, c, 1.0);
+            coo.push(c, r, 1.0);
+        }
+    }
+    // Duplicate edges collapse to values 2.0; rebuild as 0/1.
+    let sym = coo.compress();
+    ops::map_values(&sym, |_| 1.0)
+}
+
+/// Counts triangles: `Σ ((A·A) ⊙ A) / 6` — the masked-SpGEMM formulation.
+fn count_triangles(a: &Csr<f64>, a_squared: &Csr<f64>) -> u64 {
+    let masked = ops::mask(a_squared, a);
+    let paths: f64 = masked.values().iter().sum();
+    (paths / 6.0).round() as u64
+}
+
+fn main() {
+    let graph = undirected(&gen::rmat(3000, 18_000, gen::RmatParams::mild(), 11));
+    println!(
+        "graph: {} nodes, {} undirected edges",
+        graph.rows(),
+        graph.nnz() / 2
+    );
+
+    let accel = Accelerator::new(MatRaptorConfig::default());
+    let outcome = accel.run(&graph, &graph);
+    let triangles = count_triangles(&graph, &outcome.c);
+
+    println!("A*A on the accelerator: {} cycles", outcome.stats.total_cycles);
+    println!("triangles found: {triangles}");
+
+    // Sanity: the dense-oracle count agrees on a small subgraph.
+    let small = matraptor::sparse::top_left(&graph, 300);
+    let dense_cubed = small.to_dense().matmul(&small.to_dense()).matmul(&small.to_dense());
+    let trace: f64 = (0..small.rows()).map(|i| dense_cubed[(i, i)]).sum();
+    let accel_small = accel.run(&small, &small);
+    let expected = (trace / 6.0).round() as u64;
+    let got = count_triangles(&small, &accel_small.c);
+    assert_eq!(got, expected, "accelerator disagrees with the dense oracle");
+    println!("300-node subgraph cross-check vs dense trace(A^3)/6: {got} = {expected} ✓");
+}

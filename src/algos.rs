@@ -1,0 +1,294 @@
+//! The paper's motivating graph algorithms (Section I), built on SpGEMM.
+//!
+//! "SpGEMM is a building block for many graph algorithms such as graph
+//! contraction, recursive formulations of all-pairs shortest-paths
+//! algorithms, peer pressure clustering, cycle detection, Markov
+//! clustering, triangle counting..." — this module implements those
+//! building blocks. Numeric (f64) multiplications can run on the
+//! simulated accelerator; the Boolean/tropical variants use the software
+//! kernels through the semiring-capable [`Scalar`] trait.
+//!
+//! [`Scalar`]: matraptor_sparse::Scalar
+
+use matraptor_core::Accelerator;
+use matraptor_sparse::semiring::Tropical;
+use matraptor_sparse::{ops, spgemm, Coo, Csr, Index};
+
+/// Where an f64 SpGEMM should run.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum Engine<'a> {
+    /// The software reference kernel.
+    #[default]
+    Software,
+    /// The simulated MatRaptor accelerator.
+    Accelerator(&'a Accelerator),
+}
+
+impl Engine<'_> {
+    fn multiply(&self, a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
+        match self {
+            Engine::Software => spgemm::gustavson(a, b),
+            Engine::Accelerator(acc) => acc.run(a, b).c,
+        }
+    }
+}
+
+/// Transitive closure of a directed graph by iterated Boolean squaring of
+/// `A ∨ I`: after `⌈log₂ N⌉` squarings, entry `(i,j)` is `true` iff `j`
+/// is reachable from `i`.
+///
+/// # Example
+///
+/// ```rust
+/// use matraptor::algos::transitive_closure;
+/// use matraptor::sparse::Coo;
+///
+/// let mut g = Coo::new(3, 3);
+/// g.push(0, 1, true);
+/// g.push(1, 2, true);
+/// let tc = transitive_closure(&g.compress());
+/// assert_eq!(tc.get(0, 2), Some(true));
+/// assert_eq!(tc.get(2, 0), None);
+/// ```
+pub fn transitive_closure(adj: &Csr<bool>) -> Csr<bool> {
+    assert_eq!(adj.rows(), adj.cols(), "adjacency matrix must be square");
+    let mut reach = ops::add(adj, &Csr::identity(adj.rows()));
+    loop {
+        let squared = spgemm::gustavson(&reach, &reach);
+        if squared == reach {
+            return reach;
+        }
+        reach = squared;
+    }
+}
+
+/// Detects whether a directed graph contains a cycle — the paper's "cycle
+/// detection" application: the graph is cyclic iff the transitive closure
+/// of `A` (without the identity) has a `true` diagonal entry.
+pub fn has_cycle(adj: &Csr<bool>) -> bool {
+    let tc = spgemm::gustavson(&transitive_closure(adj), adj);
+    (0..tc.rows()).any(|i| tc.get(i, i) == Some(true))
+}
+
+/// All-pairs shortest paths by repeated tropical squaring of `W ⊕ I`
+/// (min-plus matrix "power"): the recursive APSP formulation the paper
+/// cites (D'alberto & Nicolau's R-Kleene).
+///
+/// Entry `(i,j)` of the result is the shortest-path length, or
+/// structurally absent when `j` is unreachable from `i`.
+pub fn all_pairs_shortest_paths(weights: &Csr<Tropical>) -> Csr<Tropical> {
+    assert_eq!(weights.rows(), weights.cols(), "weight matrix must be square");
+    let mut d = ops::add(weights, &Csr::identity(weights.rows()));
+    loop {
+        let squared = spgemm::gustavson(&d, &d);
+        if squared == d {
+            return d;
+        }
+        d = squared;
+    }
+}
+
+/// Counts triangles in an undirected graph: `Σ ((A·A) ⊙ A) / 6`.
+///
+/// # Panics
+///
+/// Panics if `adj` is not square. The caller is responsible for `adj`
+/// being symmetric with a zero diagonal and unit weights (see
+/// [`as_undirected`]).
+pub fn triangle_count(adj: &Csr<f64>, engine: Engine<'_>) -> u64 {
+    assert_eq!(adj.rows(), adj.cols(), "adjacency matrix must be square");
+    let a2 = engine.multiply(adj, adj);
+    let masked = ops::mask(&a2, adj);
+    let paths: f64 = masked.values().iter().sum();
+    (paths / 6.0).round() as u64
+}
+
+/// Symmetrises a graph and strips self-loops and weights — the
+/// preprocessing [`triangle_count`] expects.
+pub fn as_undirected(g: &Csr<f64>) -> Csr<f64> {
+    let no_diag = ops::filter(g, |r, c, _| r != c);
+    let sym = ops::add(&no_diag, &no_diag.transpose());
+    ops::map_values(&sym, |_| 1.0)
+}
+
+/// Contracts a graph: `S · A · Sᵀ`, where `S[c, v] = 1` assigns node `v`
+/// to cluster `c` — the chained-SpGEMM workload the paper uses to argue
+/// for C²SR's consistent input/output format.
+///
+/// # Panics
+///
+/// Panics if `s.cols() != a.rows()` or `a` is not square.
+pub fn contract(a: &Csr<f64>, s: &Csr<f64>, engine: Engine<'_>) -> Csr<f64> {
+    assert_eq!(a.rows(), a.cols(), "adjacency matrix must be square");
+    assert_eq!(s.cols(), a.rows(), "assignment matrix must cover every node");
+    let sa = engine.multiply(s, a);
+    engine.multiply(&sa, &s.transpose())
+}
+
+/// One round of peer-pressure clustering (Shah's algorithm, cited in
+/// Section I): every node votes for its neighbours' clusters
+/// (`T = C · A`, one SpGEMM) and each node moves to the cluster with the
+/// most votes. Returns the new assignment and how many nodes moved.
+pub fn peer_pressure_round(
+    assignment: &[u32],
+    adj: &Csr<f64>,
+    engine: Engine<'_>,
+) -> (Vec<u32>, usize) {
+    let n = adj.rows();
+    assert_eq!(assignment.len(), n, "one cluster per node");
+    let clusters = assignment.iter().max().map_or(1, |m| m + 1) as usize;
+    let mut c = Coo::new(clusters, n);
+    for (v, &cl) in assignment.iter().enumerate() {
+        c.push(cl, v as Index, 1.0);
+    }
+    let votes = engine.multiply(&c.compress(), adj);
+    // Column-wise argmax = each node's most-voted cluster.
+    let votes_t = votes.transpose();
+    let mut next = assignment.to_vec();
+    let mut moved = 0;
+    for (v, slot) in next.iter_mut().enumerate() {
+        let winner = votes_t
+            .row(v)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("votes are finite"))
+            .map(|(cl, _)| cl);
+        if let Some(w) = winner {
+            if *slot != w {
+                *slot = w;
+                moved += 1;
+            }
+        }
+    }
+    (next, moved)
+}
+
+/// Iterates [`peer_pressure_round`] to a fixpoint (or `max_rounds`),
+/// starting from singleton clusters. Returns the final assignment.
+pub fn peer_pressure_cluster(adj: &Csr<f64>, max_rounds: usize, engine: Engine<'_>) -> Vec<u32> {
+    let mut assignment: Vec<u32> = (0..adj.rows() as u32).collect();
+    for _ in 0..max_rounds {
+        let (next, moved) = peer_pressure_round(&assignment, adj, engine);
+        assignment = next;
+        if moved == 0 {
+            break;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matraptor_core::MatRaptorConfig;
+    use matraptor_sparse::gen;
+
+    fn digraph(n: usize, edges: &[(u32, u32)]) -> Csr<bool> {
+        let mut coo = Coo::new(n, n);
+        for &(u, v) in edges {
+            coo.push(u, v, true);
+        }
+        coo.compress()
+    }
+
+    #[test]
+    fn closure_of_a_path_is_upper_triangular() {
+        let tc = transitive_closure(&digraph(4, &[(0, 1), (1, 2), (2, 3)]));
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                let expect = j >= i;
+                assert_eq!(tc.get(i as usize, j as usize).is_some(), expect, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detection() {
+        assert!(!has_cycle(&digraph(3, &[(0, 1), (1, 2)])));
+        assert!(has_cycle(&digraph(3, &[(0, 1), (1, 2), (2, 0)])));
+        assert!(has_cycle(&digraph(2, &[(0, 0)])), "self-loop is a cycle");
+    }
+
+    #[test]
+    fn apsp_on_a_weighted_diamond() {
+        //     1        0→1 (1), 0→2 (4), 1→3 (1), 2→3 (1)
+        //   /   \      shortest 0→3 is via 1: cost 2.
+        //  0     3
+        //   \   /
+        //     2
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 1, Tropical(1.0));
+        coo.push(0, 2, Tropical(4.0));
+        coo.push(1, 3, Tropical(1.0));
+        coo.push(2, 3, Tropical(1.0));
+        let d = all_pairs_shortest_paths(&coo.compress());
+        assert_eq!(d.get(0, 3), Some(Tropical(2.0)));
+        assert_eq!(d.get(0, 2), Some(Tropical(4.0)));
+        assert_eq!(d.get(3, 0), None, "unreachable stays structurally zero");
+        assert_eq!(d.get(1, 1), Some(Tropical(0.0)), "diagonal is the empty path");
+    }
+
+    #[test]
+    fn triangle_count_matches_dense_trace() {
+        let g = as_undirected(&gen::rmat(120, 700, gen::RmatParams::mild(), 13));
+        let dense = g.to_dense();
+        let cubed = dense.matmul(&dense).matmul(&dense);
+        let trace: f64 = (0..g.rows()).map(|i| cubed[(i, i)]).sum();
+        let expect = (trace / 6.0).round() as u64;
+        assert_eq!(triangle_count(&g, Engine::Software), expect);
+    }
+
+    #[test]
+    fn triangle_count_on_accelerator_agrees() {
+        let g = as_undirected(&gen::rmat(90, 500, gen::RmatParams::mild(), 14));
+        let accel = Accelerator::new(MatRaptorConfig::small_test());
+        assert_eq!(
+            triangle_count(&g, Engine::Accelerator(&accel)),
+            triangle_count(&g, Engine::Software)
+        );
+    }
+
+    #[test]
+    fn contraction_preserves_total_weight() {
+        let a = gen::uniform(60, 60, 300, 15);
+        // 60 nodes into 10 clusters of 6.
+        let mut s = Coo::new(10, 60);
+        for v in 0..60u32 {
+            s.push(v % 10, v, 1.0);
+        }
+        let s = s.compress();
+        let c = contract(&a, &s, Engine::Software);
+        assert_eq!((c.rows(), c.cols()), (10, 10));
+        let before: f64 = a.values().iter().sum();
+        let after: f64 = c.values().iter().sum();
+        assert!((before - after).abs() < 1e-9, "contraction must conserve edge mass");
+    }
+
+    #[test]
+    fn peer_pressure_converges_on_two_cliques() {
+        // Two 5-cliques joined by one weak edge.
+        let mut coo = Coo::new(10, 10);
+        for block in [0u32, 5] {
+            for i in 0..5 {
+                for j in 0..5 {
+                    if i != j {
+                        coo.push(block + i, block + j, 1.0);
+                    }
+                }
+            }
+        }
+        coo.push(4, 5, 0.1);
+        coo.push(5, 4, 0.1);
+        let adj = coo.compress();
+        let clusters = peer_pressure_cluster(&adj, 20, Engine::Software);
+        // All of clique 1 ends in one cluster, clique 2 in another.
+        assert!(clusters[0..5].iter().all(|&c| c == clusters[0]));
+        assert!(clusters[5..10].iter().all(|&c| c == clusters[5]));
+        assert_ne!(clusters[0], clusters[5]);
+    }
+
+    #[test]
+    fn as_undirected_is_symmetric_and_loop_free() {
+        let g = as_undirected(&gen::rmat(80, 400, gen::RmatParams::default(), 16));
+        assert!(matraptor_sparse::stats::is_symmetric(&g, 0.0));
+        assert!((0..g.rows()).all(|i| g.get(i, i).is_none()));
+    }
+}

@@ -1,0 +1,42 @@
+//! **MatRaptor** — a from-scratch Rust reproduction of the MICRO 2020 paper
+//! *"MatRaptor: A Sparse-Sparse Matrix Multiplication Accelerator Based on
+//! Row-Wise Product"* (Srivastava, Jin, Liu, Albonesi, Zhang).
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`sparse`] — matrix formats (CSR/CSC/COO/C²SR), generators, and
+//!   reference SpGEMM algorithms for all four dataflows;
+//! * [`sim`] — the cycle-driven simulation kernel;
+//! * [`mem`] — the multi-channel HBM timing model;
+//! * [`accel`] — the MatRaptor accelerator itself (SpAL/SpBL loaders, PEs
+//!   with sorting queues, crossbar);
+//! * [`baselines`] — CPU, GPU, and OuterSPACE comparison models;
+//! * [`energy`] — area/power/energy models with technology-node scaling;
+//! * [`algos`] — the paper's motivating graph algorithms (transitive
+//!   closure, APSP, cycle detection, triangle counting, contraction,
+//!   peer-pressure clustering) built on SpGEMM over semirings.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use matraptor::accel::{Accelerator, MatRaptorConfig};
+//! use matraptor::sparse::gen;
+//!
+//! let a = gen::rmat(512, 4096, gen::RmatParams::default(), 1);
+//! let outcome = Accelerator::new(MatRaptorConfig::default()).run(&a, &a);
+//! println!(
+//!     "C has {} non-zeros after {} cycles",
+//!     outcome.c.nnz(),
+//!     outcome.stats.total_cycles
+//! );
+//! ```
+
+pub mod algos;
+
+pub use matraptor_baselines as baselines;
+pub use matraptor_core as accel;
+pub use matraptor_energy as energy;
+pub use matraptor_mem as mem;
+pub use matraptor_sim as sim;
+pub use matraptor_sparse as sparse;

@@ -1,0 +1,101 @@
+//! Property-based equivalence: the simulated accelerator vs the software
+//! reference, exact on integer-valued floats.
+
+use matraptor::accel::{Accelerator, MatRaptorConfig};
+use matraptor::sparse::{spgemm, Coo, Csr};
+use proptest::prelude::*;
+
+/// Strategy: a small random matrix with *integer-valued* f64 entries, so
+/// accumulation order cannot perturb results and equality is exact.
+fn int_matrix(
+    max_dim: usize,
+    max_nnz: usize,
+) -> impl Strategy<Value = Csr<f64>> {
+    (2..max_dim).prop_flat_map(move |n| {
+        let entry = (0..n as u32, 0..n as u32, prop_oneof![(-8i32..=-1), (1i32..=8)]);
+        proptest::collection::vec(entry, 0..max_nnz).prop_map(move |v| {
+            let mut coo = Coo::new(n, n);
+            for (rr, cc, vv) in v {
+                coo.push(rr, cc, f64::from(vv));
+            }
+            coo.compress()
+        })
+    })
+}
+
+/// Conformable pair (A: r×k, B: k×c).
+fn conformable_pair() -> impl Strategy<Value = (Csr<f64>, Csr<f64>)> {
+    (2usize..24, 2usize..24, 2usize..24).prop_flat_map(|(r, k, c)| {
+        let a = {
+            let entry = (0..r as u32, 0..k as u32, prop_oneof![(-8i32..=-1), (1i32..=8)]);
+            proptest::collection::vec(entry, 0..80).prop_map(move |v| {
+                let mut coo = Coo::new(r, k);
+                for (rr, cc, vv) in v {
+                    coo.push(rr, cc, f64::from(vv));
+                }
+                coo.compress()
+            })
+        };
+        let b = {
+            let entry = (0..k as u32, 0..c as u32, prop_oneof![(-8i32..=-1), (1i32..=8)]);
+            proptest::collection::vec(entry, 0..80).prop_map(move |v| {
+                let mut coo = Coo::new(k, c);
+                for (rr, cc, vv) in v {
+                    coo.push(rr, cc, f64::from(vv));
+                }
+                coo.compress()
+            })
+        };
+        (a, b)
+    })
+}
+
+proptest! {
+    // The cycle simulation is comparatively slow; keep the case count sane.
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn accelerator_equals_reference_on_squares(a in int_matrix(24, 100)) {
+        let cfg = MatRaptorConfig {
+            verify_against_reference: false, // we do the comparison here
+            ..MatRaptorConfig::small_test()
+        };
+        let outcome = Accelerator::new(cfg).run(&a, &a);
+        let reference = spgemm::gustavson(&a, &a);
+        // Integer-valued entries: results are exactly equal regardless of
+        // accumulation order.
+        prop_assert_eq!(outcome.c, reference);
+    }
+
+    #[test]
+    fn accelerator_equals_reference_on_rectangles((a, b) in conformable_pair()) {
+        let cfg = MatRaptorConfig {
+            verify_against_reference: false,
+            ..MatRaptorConfig::small_test()
+        };
+        let outcome = Accelerator::new(cfg).run(&a, &b);
+        prop_assert_eq!(outcome.c, spgemm::gustavson(&a, &b));
+    }
+
+    #[test]
+    fn tiny_queues_still_correct(a in int_matrix(20, 140)) {
+        // Forcing the Section VII overflow path must never change results.
+        let cfg = MatRaptorConfig {
+            queue_bytes: 64, // 8 entries per queue
+            verify_against_reference: false,
+            ..MatRaptorConfig::small_test()
+        };
+        let outcome = Accelerator::new(cfg).run(&a, &a);
+        prop_assert_eq!(outcome.c, spgemm::gustavson(&a, &a));
+    }
+
+    #[test]
+    fn all_software_dataflows_agree(a in int_matrix(24, 120)) {
+        let reference = spgemm::gustavson(&a, &a);
+        prop_assert_eq!(spgemm::dense_accumulator(&a, &a), reference.clone());
+        prop_assert_eq!(spgemm::heap_merge(&a, &a), reference.clone());
+        prop_assert_eq!(spgemm::inner(&a, &a.to_csc()), reference.clone());
+        prop_assert_eq!(spgemm::outer(&a.to_csc(), &a), reference.clone());
+        prop_assert_eq!(spgemm::column_wise(&a.to_csc(), &a.to_csc()).to_csr(), reference);
+    }
+}

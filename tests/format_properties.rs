@@ -1,0 +1,143 @@
+//! Property-based tests on the sparse formats.
+
+use matraptor::sparse::{gen, C2sr, Coo, Csr, FormatError};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary small COO triplet lists over an n×m matrix.
+fn triplets(
+    max_dim: usize,
+    max_nnz: usize,
+) -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, i64)>)> {
+    (1..max_dim, 1..max_dim).prop_flat_map(move |(r, c)| {
+        let entry = (0..r as u32, 0..c as u32, -50i64..=50);
+        proptest::collection::vec(entry, 0..max_nnz)
+            .prop_map(move |v| (r, c, v))
+    })
+}
+
+proptest! {
+    #[test]
+    fn coo_compress_is_canonical((rows, cols, entries) in triplets(40, 120)) {
+        let coo = Coo::from_triplets(rows, cols, entries.clone()).expect("in bounds");
+        let csr = coo.compress();
+        // Invariants checked by the validating constructor.
+        let rebuilt = Csr::from_parts(
+            csr.rows(),
+            csr.cols(),
+            csr.row_ptr().to_vec(),
+            csr.col_idx().to_vec(),
+            csr.values().to_vec(),
+        );
+        prop_assert!(rebuilt.is_ok());
+        // Compressing twice is a fixed point.
+        prop_assert_eq!(csr.to_coo().compress(), csr);
+    }
+
+    #[test]
+    fn coo_compress_sums_by_coordinate((rows, cols, entries) in triplets(20, 80)) {
+        let coo = Coo::from_triplets(rows, cols, entries.clone()).expect("in bounds");
+        let csr = coo.compress();
+        // The oracle: naive hashmap accumulation.
+        let mut expect = std::collections::HashMap::new();
+        for (r, c, v) in entries {
+            *expect.entry((r, c)).or_insert(0i64) += v;
+        }
+        expect.retain(|_, v| *v != 0);
+        prop_assert_eq!(csr.nnz(), expect.len());
+        for ((r, c), v) in expect {
+            prop_assert_eq!(csr.get(r as usize, c as usize), Some(v));
+        }
+    }
+
+    #[test]
+    fn csr_csc_round_trip((rows, cols, entries) in triplets(40, 150)) {
+        let csr = Coo::from_triplets(rows, cols, entries).expect("in bounds").compress();
+        prop_assert_eq!(csr.to_csc().to_csr(), csr);
+    }
+
+    #[test]
+    fn transpose_is_involutive((rows, cols, entries) in triplets(40, 150)) {
+        let csr = Coo::from_triplets(rows, cols, entries).expect("in bounds").compress();
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn c2sr_round_trip_any_channel_count(
+        (rows, cols, entries) in triplets(40, 150),
+        channels in 1usize..12,
+    ) {
+        let csr = Coo::from_triplets(rows, cols, entries).expect("in bounds").compress();
+        let c2sr = C2sr::from_csr(&csr, channels);
+        prop_assert!(c2sr.validate().is_ok());
+        prop_assert_eq!(c2sr.to_csr(), csr);
+        // Channel nnz sums to total.
+        let sum: usize = (0..channels).map(|ch| c2sr.channel_nnz(ch)).sum();
+        prop_assert_eq!(sum, c2sr.nnz());
+    }
+
+    #[test]
+    fn c2sr_rows_land_on_their_channels(
+        (rows, cols, entries) in triplets(30, 100),
+        channels in 1usize..9,
+    ) {
+        let csr = Coo::from_triplets(rows, cols, entries).expect("in bounds").compress();
+        let c2sr = C2sr::from_csr(&csr, channels);
+        for i in 0..c2sr.rows() {
+            prop_assert_eq!(c2sr.channel_of(i), i % channels);
+            // Row contents identical to CSR.
+            let a: Vec<_> = csr.row(i).collect();
+            let b: Vec<_> = c2sr.row(i).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn dense_round_trip((rows, cols, entries) in triplets(24, 80)) {
+        let csr = Coo::from_triplets(rows, cols, entries).expect("in bounds").compress();
+        prop_assert_eq!(csr.to_dense().to_csr(), csr);
+    }
+
+    #[test]
+    fn top_left_is_a_restriction(
+        (rows, cols, entries) in triplets(30, 100),
+        k in 0usize..40,
+    ) {
+        let csr = Coo::from_triplets(rows, cols, entries).expect("in bounds").compress();
+        let tile = matraptor::sparse::top_left(&csr, k);
+        prop_assert_eq!(tile.rows(), k.min(csr.rows()));
+        prop_assert_eq!(tile.cols(), k.min(csr.cols()));
+        for (r, c, v) in tile.iter() {
+            prop_assert_eq!(csr.get(r as usize, c as usize), Some(v));
+        }
+    }
+}
+
+#[test]
+fn validating_constructor_rejects_garbage() {
+    // A few deterministic malformed inputs (proptest shrinkers get lost on
+    // multi-array coherence, so these stay explicit).
+    assert!(matches!(
+        Csr::<f64>::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]),
+        Err(FormatError::PointerLength { .. })
+    ));
+    assert!(matches!(
+        Csr::<f64>::from_parts(1, 1, vec![0, 1], vec![0], vec![]),
+        Err(FormatError::ArrayLengthMismatch { .. })
+    ));
+}
+
+#[test]
+fn generators_produce_valid_matrices() {
+    for spec in gen::suite::table2() {
+        let m = spec.generate(256, 11);
+        // Rebuild through the validating constructor: structural proof.
+        Csr::from_parts(
+            m.rows(),
+            m.cols(),
+            m.row_ptr().to_vec(),
+            m.col_idx().to_vec(),
+            m.values().to_vec(),
+        )
+        .unwrap_or_else(|e| panic!("{} generated invalid CSR: {e}", spec.id));
+    }
+}
