@@ -65,8 +65,8 @@ impl GpuModel {
     /// 547.6 / 128 = 4.28× its GPU numbers).
     pub fn run(&self, w: &Workload, norm: BandwidthNorm) -> ModeledRun {
         let traffic = self.dram_traffic(w);
-        let mut time_s = self.fixed_overhead_s
-            + traffic as f64 / (self.peak_bw_gbs * self.effective_bw * 1e9);
+        let mut time_s =
+            self.fixed_overhead_s + traffic as f64 / (self.peak_bw_gbs * self.effective_bw * 1e9);
         if norm == BandwidthNorm::Normalized {
             time_s *= self.peak_bw_gbs / NORMALIZED_BANDWIDTH_GBS;
         }

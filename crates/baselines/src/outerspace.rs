@@ -121,7 +121,8 @@ mod tests {
 
     #[test]
     fn on_chip_runs_are_much_faster_per_flop() {
-        let small = Workload::measure(&gen::uniform(100, 100, 600, 14), &gen::uniform(100, 100, 600, 14));
+        let small =
+            Workload::measure(&gen::uniform(100, 100, 600, 14), &gen::uniform(100, 100, 600, 14));
         let large = {
             let a = gen::uniform(2_000, 2_000, 30_000, 15);
             Workload::measure(&a, &a)

@@ -1,7 +1,8 @@
-//! Criterion benchmarks of the cycle-level accelerator simulation itself
-//! (host-side simulation throughput, not modelled hardware speed).
+//! Benchmarks of the cycle-level accelerator simulation itself (host-side
+//! simulation throughput, not modelled hardware speed). Uses the std-only
+//! harness in `matraptor_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matraptor_bench::harness::Group;
 use matraptor_core::{conversion_cycles, Accelerator, MatRaptorConfig};
 use matraptor_sparse::gen::suite;
 use std::hint::black_box;
@@ -10,22 +11,17 @@ fn no_verify() -> MatRaptorConfig {
     MatRaptorConfig { verify_against_reference: false, ..MatRaptorConfig::default() }
 }
 
-fn accelerator_runs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("accelerator_sim");
-    g.sample_size(10);
+fn accelerator_runs() {
+    let g = Group::new("accelerator_sim");
     for id in ["az", "p3", "mb"] {
         let a = suite::by_id(id).expect("Table II id").generate(256, 42);
         let accel = Accelerator::new(no_verify());
-        g.bench_with_input(BenchmarkId::new("a_x_a", id), &a, |b, a| {
-            b.iter(|| black_box(accel.run(a, a)))
-        });
+        g.bench(&format!("a_x_a/{id}"), || black_box(accel.run(&a, &a)));
     }
-    g.finish();
 }
 
-fn lane_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("accelerator_lanes");
-    g.sample_size(10);
+fn lane_scaling() {
+    let g = Group::new("accelerator_lanes");
     let a = suite::by_id("az").expect("az").generate(256, 42);
     for lanes in [2usize, 4, 8] {
         let cfg = MatRaptorConfig {
@@ -35,23 +31,19 @@ fn lane_scaling(c: &mut Criterion) {
             ..MatRaptorConfig::default()
         };
         let accel = Accelerator::new(cfg);
-        g.bench_with_input(BenchmarkId::new("lanes", lanes), &a, |b, a| {
-            b.iter(|| black_box(accel.run(a, a)))
-        });
+        g.bench(&format!("lanes/{lanes}"), || black_box(accel.run(&a, &a)));
     }
-    g.finish();
 }
 
-fn conversion_unit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("format_conversion_sim");
-    g.sample_size(10);
+fn conversion_unit() {
+    let g = Group::new("format_conversion_sim");
     let a = suite::by_id("of").expect("of").generate(256, 42);
     let cfg = no_verify();
-    g.bench_function("csr_to_c2sr_unit", |b| {
-        b.iter(|| black_box(conversion_cycles(&a, &cfg)))
-    });
-    g.finish();
+    g.bench("csr_to_c2sr_unit", || black_box(conversion_cycles(&a, &cfg)));
 }
 
-criterion_group!(benches, accelerator_runs, lane_scaling, conversion_unit);
-criterion_main!(benches);
+fn main() {
+    accelerator_runs();
+    lane_scaling();
+    conversion_unit();
+}

@@ -1,15 +1,15 @@
-//! Criterion micro-benchmarks of the software SpGEMM kernels — the four
-//! dataflows of Section II plus the CPU-style variants, on representative
-//! Table II stand-ins.
+//! Micro-benchmarks of the software SpGEMM kernels — the four dataflows of
+//! Section II plus the CPU-style variants, on representative Table II
+//! stand-ins. Uses the std-only harness in `matraptor_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matraptor_bench::harness::Group;
 use matraptor_sparse::gen::suite;
 use matraptor_sparse::{spgemm, Csr};
 use std::hint::black_box;
 
 fn bench_matrices() -> Vec<(&'static str, Csr<f64>)> {
     // One power-law, one FEM band, one fixed-degree — small enough for
-    // stable criterion runs.
+    // stable runs.
     ["az", "p3", "mb"]
         .into_iter()
         .map(|id| {
@@ -19,53 +19,41 @@ fn bench_matrices() -> Vec<(&'static str, Csr<f64>)> {
         .collect()
 }
 
-fn row_wise_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("row_wise_kernels");
+fn row_wise_kernels() {
+    let g = Group::new("row_wise_kernels");
     for (id, a) in bench_matrices() {
-        g.bench_with_input(BenchmarkId::new("gustavson", id), &a, |b, a| {
-            b.iter(|| black_box(spgemm::gustavson(a, a)))
+        g.bench(&format!("gustavson/{id}"), || black_box(spgemm::gustavson(&a, &a)));
+        g.bench(&format!("dense_accumulator/{id}"), || {
+            black_box(spgemm::dense_accumulator(&a, &a))
         });
-        g.bench_with_input(BenchmarkId::new("dense_accumulator", id), &a, |b, a| {
-            b.iter(|| black_box(spgemm::dense_accumulator(a, a)))
-        });
-        g.bench_with_input(BenchmarkId::new("heap_merge", id), &a, |b, a| {
-            b.iter(|| black_box(spgemm::heap_merge(a, a)))
-        });
+        g.bench(&format!("heap_merge/{id}"), || black_box(spgemm::heap_merge(&a, &a)));
     }
-    g.finish();
 }
 
-fn dataflow_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dataflow_kernels");
+fn dataflow_kernels() {
+    let g = Group::new("dataflow_kernels");
     for (id, a) in bench_matrices() {
         let a_csc = a.to_csc();
-        g.bench_with_input(BenchmarkId::new("outer", id), &a, |b, a| {
-            b.iter(|| black_box(spgemm::outer(&a_csc, a)))
-        });
-        g.bench_with_input(BenchmarkId::new("column_wise", id), &a, |b, _| {
-            b.iter(|| black_box(spgemm::column_wise(&a_csc, &a_csc)))
-        });
+        g.bench(&format!("outer/{id}"), || black_box(spgemm::outer(&a_csc, &a)));
+        g.bench(&format!("column_wise/{id}"), || black_box(spgemm::column_wise(&a_csc, &a_csc)));
         // Inner product is O(N^2) dot products — bench only the smallest.
         if id == "mb" {
-            g.bench_with_input(BenchmarkId::new("inner", id), &a, |b, a| {
-                b.iter(|| black_box(spgemm::inner(a, &a_csc)))
-            });
+            g.bench(&format!("inner/{id}"), || black_box(spgemm::inner(&a, &a_csc)));
         }
     }
-    g.finish();
 }
 
-fn format_conversions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("format_conversions");
+fn format_conversions() {
+    let g = Group::new("format_conversions");
     let a = suite::by_id("of").expect("of").generate(256, 42);
-    g.bench_function("csr_to_c2sr_8ch", |b| {
-        b.iter(|| black_box(matraptor_sparse::C2sr::from_csr(&a, 8)))
-    });
+    g.bench("csr_to_c2sr_8ch", || black_box(matraptor_sparse::C2sr::from_csr(&a, 8)));
     let c2sr = matraptor_sparse::C2sr::from_csr(&a, 8);
-    g.bench_function("c2sr_to_csr", |b| b.iter(|| black_box(c2sr.to_csr())));
-    g.bench_function("csr_to_csc", |b| b.iter(|| black_box(a.to_csc())));
-    g.finish();
+    g.bench("c2sr_to_csr", || black_box(c2sr.to_csr()));
+    g.bench("csr_to_csc", || black_box(a.to_csc()));
 }
 
-criterion_group!(benches, row_wise_kernels, dataflow_kernels, format_conversions);
-criterion_main!(benches);
+fn main() {
+    row_wise_kernels();
+    dataflow_kernels();
+    format_conversions();
+}

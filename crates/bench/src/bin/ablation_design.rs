@@ -29,11 +29,7 @@ fn main() {
     // HBM timing the loader pipeline buffers across Phase II, so the
     // double buffer's benefit only appears once memory stops being the
     // bottleneck — which is itself a finding worth printing.
-    let ideal_mem = HbmConfig {
-        access_latency: 2,
-        row_miss_penalty: 0,
-        ..HbmConfig::default()
-    };
+    let ideal_mem = HbmConfig { access_latency: 2, row_miss_penalty: 0, ..HbmConfig::default() };
     let mut rows = Vec::new();
     for (label, db, mem) in [
         ("double-buffered, HBM", true, base.mem.clone()),
@@ -57,7 +53,10 @@ fn main() {
     println!("     queue sets pay off as the memory system gets faster\n");
 
     // 2. Read request width.
-    println!("loader read width (C2SR's vectorized streaming vs narrow reads), on az (N={}):", a.rows());
+    println!(
+        "loader read width (C2SR's vectorized streaming vs narrow reads), on az (N={}):",
+        a.rows()
+    );
     let mut rows = Vec::new();
     for width in [8u32, 16, 32, 64] {
         let cfg = MatRaptorConfig { read_request_bytes: width, ..base.clone() };

@@ -39,11 +39,7 @@ fn main() {
             let accel = Accelerator::new(cfg);
             let ra = accel.run(&a, &a);
             let rb = accel.run(&b, &b);
-            let fp = MatRaptorFloorplan {
-                num_lanes: 8,
-                queues_per_pe: queues,
-                queue_bytes,
-            };
+            let fp = MatRaptorFloorplan { num_lanes: 8, queues_per_pe: queues, queue_bytes };
             rows.push(vec![
                 format!("{queues} x {} KB", queue_bytes / 1024),
                 format!("{}", ra.stats.total_cycles),

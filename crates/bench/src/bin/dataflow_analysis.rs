@@ -32,7 +32,13 @@ fn main() {
     let mut json_rows = Vec::new();
     for m in load_suite(&opts).into_iter().take(6) {
         let costs = dataflow::compare(&m.matrix, &m.matrix);
-        println!("{} ({}x{}, {} nnz):", m.spec.id, m.matrix.rows(), m.matrix.cols(), m.matrix.nnz());
+        println!(
+            "{} ({}x{}, {} nnz):",
+            m.spec.id,
+            m.matrix.rows(),
+            m.matrix.cols(),
+            m.matrix.nnz()
+        );
         let rows: Vec<Vec<String>> = costs
             .iter()
             .map(|c| {
@@ -47,7 +53,14 @@ fn main() {
             })
             .collect();
         print_table(
-            &["dataflow", "model reuse", "model on-chip (KB)", "multiplies", "idx compares", "partials"],
+            &[
+                "dataflow",
+                "model reuse",
+                "model on-chip (KB)",
+                "multiplies",
+                "idx compares",
+                "partials",
+            ],
             &rows,
         );
         let row = &costs[2];

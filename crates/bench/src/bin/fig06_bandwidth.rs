@@ -33,11 +33,8 @@ fn main() {
     for (i, n) in [2usize, 4, 8].into_iter().enumerate() {
         let cfg = HbmConfig::with_channels(n);
         let csr = patterns::measure_bandwidth(&cfg, &patterns::csr_streams(&row_bytes, n, 8), 64);
-        let c2sr = patterns::measure_bandwidth(
-            &cfg,
-            &patterns::c2sr_streams(&cfg, &row_bytes, n, 64),
-            64,
-        );
+        let c2sr =
+            patterns::measure_bandwidth(&cfg, &patterns::c2sr_streams(&cfg, &row_bytes, n, 64), 64);
         rows.push(vec![
             n.to_string(),
             format!("{:.1}", csr.achieved_gbs),
@@ -53,10 +50,7 @@ fn main() {
             cfg.peak_bandwidth_gbs()
         ));
     }
-    print_table(
-        &["channels/PEs", "CSR GB/s", "(paper)", "C2SR GB/s", "(paper)", "peak"],
-        &rows,
-    );
+    print_table(&["channels/PEs", "CSR GB/s", "(paper)", "C2SR GB/s", "(paper)", "peak"], &rows);
     if opts.json {
         println!("\n[{}]", json_rows.join(",\n "));
     }

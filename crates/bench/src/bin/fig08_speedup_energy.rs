@@ -28,7 +28,14 @@ fn main() {
     println!("Fig. 8 — A x A speedup and energy benefit vs CPU-1T (scale 1/{})\n", opts.scale);
 
     let headers = [
-        "matrix", "CPU-1T", "CPU-1T-BW", "CPU-12T", "CPU-12T-BW", "GPU", "GPU-BW", "OuterSPACE",
+        "matrix",
+        "CPU-1T",
+        "CPU-1T-BW",
+        "CPU-12T",
+        "CPU-12T-BW",
+        "GPU",
+        "GPU-BW",
+        "OuterSPACE",
         "MatRaptor",
     ];
     let mut speed_rows = Vec::new();
@@ -77,8 +84,7 @@ fn main() {
 
     let paper_speed = [129.2, 77.5, 12.9, 7.9, 8.8, 37.6, 1.8];
     let paper_energy = [482.5, 289.6, 581.5, 348.9, 574.8, 2458.9, 12.2];
-    let names =
-        ["CPU-1T", "CPU-1T-BW", "CPU-12T", "CPU-12T-BW", "GPU", "GPU-BW", "OuterSPACE"];
+    let names = ["CPU-1T", "CPU-1T-BW", "CPU-12T", "CPU-12T-BW", "GPU", "GPU-BW", "OuterSPACE"];
     println!("\nMatRaptor geomean speedup over each baseline (paper in parentheses):");
     for i in 0..7 {
         println!(

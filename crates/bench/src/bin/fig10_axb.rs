@@ -52,8 +52,8 @@ fn main() {
         }
         let outcome = accel.run(&a, &b);
         let t_mat = outcome.stats.elapsed_seconds();
-        let e_mat = mat_energy
-            .energy_j(t_mat, outcome.stats.traffic_read + outcome.stats.traffic_written);
+        let e_mat =
+            mat_energy.energy_j(t_mat, outcome.stats.traffic_read + outcome.stats.traffic_written);
         let g = gpu.run(&w, BandwidthNorm::Normalized);
         let speedup = g.time_s / t_mat;
         let energy = g.energy_j / e_mat;

@@ -13,7 +13,10 @@ use matraptor_sparse::C2sr;
 fn main() {
     let opts = Options::from_args();
     let lanes = 8;
-    println!("Fig. 11 — max/min per-PE nnz(A) under round-robin rows, {lanes} PEs (scale 1/{})\n", opts.scale);
+    println!(
+        "Fig. 11 — max/min per-PE nnz(A) under round-robin rows, {lanes} PEs (scale 1/{})\n",
+        opts.scale
+    );
 
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();

@@ -33,15 +33,9 @@ fn main() {
             format!("{:.1}", spgemm_s * 1e6),
             format!("{:.1}%", frac * 100.0),
         ]);
-        json_rows.push(format!(
-            "{{\"id\":\"{}\",\"conversion_fraction\":{frac}}}",
-            m.spec.id
-        ));
+        json_rows.push(format!("{{\"id\":\"{}\",\"conversion_fraction\":{frac}}}", m.spec.id));
     }
-    print_table(
-        &["matrix", "conv mem cycles", "conv (us)", "SpGEMM (us)", "conv/SpGEMM"],
-        &rows,
-    );
+    print_table(&["matrix", "conv mem cycles", "conv (us)", "SpGEMM (us)", "conv/SpGEMM"], &rows);
     println!(
         "\ngeomean conversion overhead {:.1}% of SpGEMM time (paper: ~12%)",
         geomean(&fracs) * 100.0

@@ -35,7 +35,12 @@ fn main() {
     let out_dir = PathBuf::from("results");
     fs::create_dir_all(&out_dir).expect("create results/");
 
-    println!("running {} experiments at scale 1/{} into {}/", EXPERIMENTS.len(), opts.scale, out_dir.display());
+    println!(
+        "running {} experiments at scale 1/{} into {}/",
+        EXPERIMENTS.len(),
+        opts.scale,
+        out_dir.display()
+    );
     let mut failures = 0;
     for &(name, takes_opts) in EXPERIMENTS {
         let mut cmd = Command::new(bin_dir.join(name));

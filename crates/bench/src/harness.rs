@@ -1,0 +1,65 @@
+//! Minimal micro-benchmark harness.
+//!
+//! The offline build environment cannot fetch `criterion`, so the
+//! `benches/*.rs` targets use this std-only harness instead: warm-up, a
+//! fixed measurement budget per benchmark, and median-of-samples reporting.
+//! Timing uses wall-clock `Instant` — which is fine here because the bench
+//! crate measures *host* simulation throughput, not modelled cycles (the
+//! conformance `determinism` rule bans `Instant` only in simulator-state
+//! crates).
+
+use std::time::{Duration, Instant};
+
+/// One benchmark group, mirroring criterion's `benchmark_group` shape.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    /// Measurement budget per benchmark.
+    budget: Duration,
+    /// Minimum number of timed samples.
+    min_samples: usize,
+}
+
+impl Group {
+    /// Creates a group with the default budget (0.5 s per benchmark).
+    pub fn new(name: &str) -> Self {
+        println!("group {name}");
+        Group { name: name.to_string(), budget: Duration::from_millis(500), min_samples: 10 }
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    pub fn budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Times `f` repeatedly and prints `group/name  median  (samples)`.
+    ///
+    /// Returns the median per-iteration time so callers can assert on it.
+    pub fn bench<F, R>(&self, name: &str, mut f: F) -> Duration
+    where
+        F: FnMut() -> R,
+    {
+        // One warm-up iteration, then sample until the budget is spent.
+        let _ = std::hint::black_box(f());
+        let mut samples: Vec<Duration> = Vec::new();
+        let started = Instant::now();
+        while samples.len() < self.min_samples || started.elapsed() < self.budget {
+            let t0 = Instant::now();
+            let _ = std::hint::black_box(f());
+            samples.push(t0.elapsed());
+            if samples.len() >= 10_000 {
+                break;
+            }
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!(
+            "  {:<40} {:>12.3?} (n={})",
+            format!("{}/{}", self.name, name),
+            median,
+            samples.len()
+        );
+        median
+    }
+}

@@ -6,6 +6,8 @@
 //! CLI parsing for the `--scale`/`--seed` knobs, suite loading, and table
 //! formatting.
 
+pub mod harness;
+
 use matraptor_sparse::gen::suite::{table2, MatrixSpec};
 use matraptor_sparse::Csr;
 

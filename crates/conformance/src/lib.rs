@@ -1,0 +1,95 @@
+//! Workspace-wide static-analysis pass for the MatRaptor reproduction.
+//!
+//! Four named rules guard the invariants the simulator's credibility rests
+//! on (see DESIGN.md "Invariants & static analysis"):
+//!
+//! * **determinism** — simulator-state crates (`core`, `sim`, `mem`) must
+//!   not use `HashMap`/`HashSet`, wall-clock time, or OS-seeded randomness;
+//!   same seed, same cycle count, always.
+//! * **panic-safety** — `core`, `mem`, and the `sparse` SpGEMM/C²SR hot
+//!   paths must propagate errors (`Result<_, SparseError>`) instead of
+//!   calling `unwrap`/`expect`/`panic!` outside test code.
+//! * **layering** — crate dependencies must follow the DAG
+//!   `sparse → sim → mem → core → {baselines, energy} → bench`; checked in
+//!   both `Cargo.toml` `[dependencies]` tables and `matraptor_*` paths in
+//!   source. Dev-dependencies are exempt.
+//! * **doc-drift** — every `fig*`/`table*`/`ablation*` binary in
+//!   `crates/bench/src/bin/` must have a matching entry in `EXPERIMENTS.md`.
+//!
+//! Individual findings are silenced with a justification comment on the
+//! flagged line or the line above:
+//!
+//! ```text
+//! // conformance:allow(panic-safety): documented panic at the API boundary
+//! try_gustavson(a, b).unwrap_or_else(|e| panic!("gustavson: {e}"))
+//! ```
+//!
+//! Two entry points: `cargo run -p matraptor-conformance` (CLI, `--json`
+//! for machine-readable output) and the `workspace_gate` integration test,
+//! which makes `cargo test` fail on any violation.
+
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+pub use report::Report;
+pub use rules::{registry, Rule, Violation};
+pub use workspace::Workspace;
+
+/// Loads the workspace at `root` and runs every registered rule,
+/// applying `conformance:allow` suppressions.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let ws = Workspace::load(root)?;
+    Ok(run_on(&ws, &registry()))
+}
+
+/// Runs `rules` over an already-loaded workspace.
+pub fn run_on(ws: &Workspace, rules: &[Box<dyn Rule>]) -> Report {
+    let mut violations = Vec::new();
+    let mut suppressed = 0;
+    for rule in rules {
+        for v in rule.check(ws) {
+            if is_suppressed(ws, &v) {
+                suppressed += 1;
+            } else {
+                violations.push(v);
+            }
+        }
+    }
+    violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Report {
+        violations,
+        suppressed,
+        files_scanned: ws.sources.len(),
+        manifests_scanned: ws.manifests.len(),
+        rules: rules.iter().map(|r| (r.name(), r.description())).collect(),
+    }
+}
+
+/// A violation is suppressed when the flagged line (or the one above it)
+/// carries `conformance:allow(<rule>)`. Works for manifests too — there the
+/// marker rides in a `#` TOML comment.
+fn is_suppressed(ws: &Workspace, v: &Violation) -> bool {
+    if v.line == 0 {
+        return false;
+    }
+    if let Some(src) = ws.sources.iter().find(|f| f.rel == v.file) {
+        return src.is_allowed(v.rule, v.line);
+    }
+    if let Some(m) = ws.manifests.iter().find(|m| m.rel == v.file) {
+        // Re-read the manifest text lazily; manifests are tiny.
+        let text = std::fs::read_to_string(ws.root.join(&m.rel)).unwrap_or_default();
+        let lines: Vec<&str> = text.lines().collect();
+        let marker = format!("conformance:allow({})", v.rule);
+        let idx = v.line.saturating_sub(1);
+        return [idx.checked_sub(1), Some(idx)]
+            .into_iter()
+            .flatten()
+            .any(|i| lines.get(i).is_some_and(|l| l.contains(&marker)));
+    }
+    false
+}

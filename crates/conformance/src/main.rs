@@ -1,0 +1,80 @@
+//! CLI entry point: `cargo run -p matraptor-conformance [-- --json] [--root DIR]`.
+//!
+//! Exit status 0 when the workspace is clean, 1 on violations, 2 on usage
+//! or I/O errors — so CI can gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "matraptor-conformance: workspace invariant linter\n\n\
+                     USAGE: cargo run -p matraptor-conformance [-- OPTIONS]\n\n\
+                     OPTIONS:\n  \
+                       --json        machine-readable JSON report\n  \
+                       --root DIR    workspace root (default: auto-detected)\n  \
+                       -h, --help    this message"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: no workspace root found (no ancestor Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        }
+    };
+
+    match matraptor_conformance::run(&root) {
+        Ok(report) => {
+            print!("{}", if json { report.json() } else { report.human() });
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// `[workspace]` — matches how cargo itself resolves the workspace.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Report rendering: human-readable text and machine-readable JSON.
+//!
+//! The JSON emitter is hand-rolled (the workspace is std-only); output is
+//! deterministic — violations are sorted by file, line, rule.
+
+use crate::rules::Violation;
+
+/// The outcome of a full conformance run.
+#[derive(Debug)]
+pub struct Report {
+    /// Violations that survived suppression, sorted.
+    pub violations: Vec<Violation>,
+    /// Findings silenced by `conformance:allow(...)` comments.
+    pub suppressed: usize,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// Number of manifests scanned.
+    pub manifests_scanned: usize,
+    /// `(name, description)` of every registered rule.
+    pub rules: Vec<(&'static str, &'static str)>,
+}
+
+impl Report {
+    /// True when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "conformance: {} source files, {} manifests, {} rules\n",
+            self.files_scanned,
+            self.manifests_scanned,
+            self.rules.len()
+        ));
+        for v in &self.violations {
+            out.push_str(&format!("{}:{}: [{}] {}\n", v.file, v.line, v.rule, v.message));
+        }
+        if self.suppressed > 0 {
+            out.push_str(&format!(
+                "{} finding(s) suppressed by conformance:allow comments\n",
+                self.suppressed
+            ));
+        }
+        if self.is_clean() {
+            out.push_str("OK: no violations\n");
+        } else {
+            out.push_str(&format!("FAIL: {} violation(s)\n", self.violations.len()));
+        }
+        out
+    }
+
+    /// Single JSON object rendering.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"manifests_scanned\": {},\n", self.manifests_scanned));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str("  \"rules\": [");
+        for (i, (name, desc)) in self.rules.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": {}, \"description\": {}}}",
+                json_str(name),
+                json_str(desc)
+            ));
+        }
+        out.push_str("],\n");
+        out.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message),
+                if i + 1 < self.violations.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"ok\": {}\n", self.is_clean()));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            violations: vec![Violation {
+                rule: "determinism",
+                file: "crates/core/src/accel.rs".into(),
+                line: 7,
+                message: "`HashMap` in simulator state".into(),
+            }],
+            suppressed: 2,
+            files_scanned: 10,
+            manifests_scanned: 3,
+            rules: vec![("determinism", "no HashMap")],
+        }
+    }
+
+    #[test]
+    fn human_report_names_rule_and_location() {
+        let h = sample().human();
+        assert!(h.contains("crates/core/src/accel.rs:7: [determinism]"));
+        assert!(h.contains("FAIL: 1 violation(s)"));
+    }
+
+    #[test]
+    fn json_report_is_wellformed_enough() {
+        let j = sample().json();
+        assert!(j.contains("\"rule\": \"determinism\""));
+        assert!(j.contains("\"ok\": false"));
+        assert!(j.contains("\"suppressed\": 2"));
+        // Balanced braces as a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -1,0 +1,317 @@
+//! The rule registry: each rule walks the [`Workspace`] model and emits
+//! [`Violation`]s. Suppression via `conformance:allow(<rule>)` comments is
+//! applied centrally by the engine ([`crate::run`]), not by the rules.
+
+use crate::workspace::{contains_token, Manifest, SourceFile, Workspace};
+
+/// First occurrence of `prefix` preceded by a word boundary (the text after
+/// it may be anything — this matches `matraptor_core` given `matraptor_`).
+fn find_prefix(code: &str, prefix: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(prefix) {
+        let abs = start + pos;
+        if abs == 0 || !(bytes[abs - 1].is_ascii_alphanumeric() || bytes[abs - 1] == b'_') {
+            return Some(abs);
+        }
+        start = abs + 1;
+    }
+    None
+}
+
+/// One rule violation, attributed to a file and (when line-level) a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule name, e.g. `"determinism"`.
+    pub rule: &'static str,
+    /// File path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number; 0 for file-level findings.
+    pub line: usize,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+/// A named, individually-allowlistable conformance rule.
+pub trait Rule {
+    /// Stable rule name used in reports and `conformance:allow(...)`.
+    fn name(&self) -> &'static str;
+    /// One-line description shown in reports.
+    fn description(&self) -> &'static str;
+    /// Runs the rule over the workspace. Emits raw findings; suppression
+    /// is the engine's job.
+    fn check(&self, ws: &Workspace) -> Vec<Violation>;
+}
+
+/// All rules, in report order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![Box::new(Determinism), Box::new(PanicSafety), Box::new(Layering), Box::new(DocDrift)]
+}
+
+/// Crates holding cycle-level simulator state: any iteration-order or
+/// wall-clock dependence here silently breaks run-to-run reproducibility.
+const SIM_STATE_CRATES: [&str; 3] = ["core", "sim", "mem"];
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+/// Forbids non-deterministic constructs in simulator-state crates.
+pub struct Determinism;
+
+const DETERMINISM_TOKENS: [(&str, &str); 5] = [
+    ("HashMap", "iteration order varies between runs; use BTreeMap"),
+    ("HashSet", "iteration order varies between runs; use BTreeSet"),
+    ("Instant::now", "wall-clock reads make cycle counts irreproducible"),
+    ("SystemTime", "wall-clock reads make cycle counts irreproducible"),
+    ("thread_rng", "OS-seeded randomness; use a seeded matraptor_sparse::rng::ChaCha8Rng"),
+];
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+    fn description(&self) -> &'static str {
+        "simulator-state crates (core, sim, mem) must not use HashMap/HashSet, \
+         wall-clock time, or OS-seeded randomness"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for file in sim_state_sources(ws) {
+            for (idx, line) in file.lines.iter().enumerate() {
+                if line.is_test {
+                    continue;
+                }
+                for (token, why) in DETERMINISM_TOKENS {
+                    if contains_token(&line.code, token) {
+                        out.push(Violation {
+                            rule: "determinism",
+                            file: file.rel.clone(),
+                            line: idx + 1,
+                            message: format!("`{token}` in simulator state: {why}"),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn sim_state_sources(ws: &Workspace) -> impl Iterator<Item = &SourceFile> {
+    ws.sources.iter().filter(|f| {
+        f.crate_name.as_deref().is_some_and(|c| SIM_STATE_CRATES.contains(&c))
+            && f.rel.contains("/src/")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// panic-safety
+// ---------------------------------------------------------------------------
+
+/// Forbids `unwrap()`, `expect(...)`, and `panic!` in non-test code of the
+/// hot paths: all of `core` and `mem`, plus the `sparse` SpGEMM kernels and
+/// the C²SR converter.
+pub struct PanicSafety;
+
+const PANIC_TOKENS: [&str; 3] = [".unwrap()", ".expect(", "panic!"];
+
+fn panic_safety_applies(file: &SourceFile) -> bool {
+    match file.crate_name.as_deref() {
+        Some("core") | Some("mem") => file.rel.contains("/src/"),
+        Some("sparse") => file.rel.contains("/src/spgemm/") || file.rel.ends_with("/src/c2sr.rs"),
+        _ => false,
+    }
+}
+
+impl Rule for PanicSafety {
+    fn name(&self) -> &'static str {
+        "panic-safety"
+    }
+    fn description(&self) -> &'static str {
+        "core, mem, and the sparse SpGEMM/C2SR hot paths must propagate errors \
+         instead of calling unwrap/expect/panic! outside test code"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for file in ws.sources.iter().filter(|f| panic_safety_applies(f)) {
+            for (idx, line) in file.lines.iter().enumerate() {
+                if line.is_test {
+                    continue;
+                }
+                for token in PANIC_TOKENS {
+                    if contains_token(&line.code, token) {
+                        out.push(Violation {
+                            rule: "panic-safety",
+                            file: file.rel.clone(),
+                            line: idx + 1,
+                            message: format!(
+                                "`{token}` in non-test hot-path code; return a Result \
+                                 (or justify with a conformance:allow comment)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------------
+
+/// The allowed `[dependencies]` edges between workspace crates, by short
+/// name. Dev-dependencies are exempt (tests may reach down the stack).
+/// Direction: sparse → sim → mem → core → {baselines, energy} → bench.
+fn allowed_deps(short: &str) -> Option<&'static [&'static str]> {
+    match short {
+        "sparse" | "sim" | "energy" | "conformance" => Some(&[]),
+        "mem" => Some(&["sim"]),
+        "core" => Some(&["sparse", "sim", "mem"]),
+        "baselines" => Some(&["sparse", "energy"]),
+        "bench" => Some(&["sparse", "sim", "mem", "core", "baselines", "energy"]),
+        _ => None,
+    }
+}
+
+/// Enforces the crate-layering DAG via both manifests and `use` statements.
+pub struct Layering;
+
+impl Rule for Layering {
+    fn name(&self) -> &'static str {
+        "layering"
+    }
+    fn description(&self) -> &'static str {
+        "crate dependencies must follow sparse -> sim -> mem -> core -> \
+         {baselines, energy} -> bench; no back-edges"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for m in &ws.manifests {
+            out.extend(check_manifest_edges(m));
+        }
+        for f in &ws.sources {
+            out.extend(check_source_edges(f));
+        }
+        out
+    }
+}
+
+fn short_name(package: &str) -> Option<&str> {
+    package.strip_prefix("matraptor-")
+}
+
+fn check_manifest_edges(m: &Manifest) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(pkg) = m.package_name.as_deref() else {
+        return out;
+    };
+    // The root facade re-exports everything; only `matraptor-*` crates are
+    // constrained.
+    let Some(short) = short_name(pkg) else {
+        return out;
+    };
+    let allowed = allowed_deps(short).unwrap_or(&[]);
+    for (dep, line) in &m.deps {
+        let Some(dep_short) = short_name(dep) else {
+            continue;
+        };
+        if !allowed.contains(&dep_short) {
+            out.push(Violation {
+                rule: "layering",
+                file: m.rel.clone(),
+                line: *line,
+                message: format!(
+                    "`{pkg}` must not depend on `{dep}`: edge violates the layering \
+                     DAG (allowed deps of `{short}`: {allowed:?})"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn check_source_edges(f: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(short) = f.crate_name.as_deref() else {
+        return out; // root facade sources may use anything
+    };
+    if !f.rel.contains("/src/") {
+        return out; // tests/benches run on dev-dependencies, which are exempt
+    }
+    let Some(allowed) = allowed_deps(short) else {
+        return out;
+    };
+    for (idx, line) in f.lines.iter().enumerate() {
+        if line.is_test {
+            continue;
+        }
+        // A `matraptor_<name>::` path reference is a compile-time edge.
+        // Plain `matraptor_*` identifiers (local function names) are not.
+        let mut code: &str = &line.code;
+        while let Some(pos) = find_prefix(code, "matraptor_") {
+            let rest = &code[pos + "matraptor_".len()..];
+            let used: String =
+                rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            let is_path = rest[used.len()..].starts_with("::");
+            if is_path && !used.is_empty() && used != short && !allowed.contains(&used.as_str()) {
+                out.push(Violation {
+                    rule: "layering",
+                    file: f.rel.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "crate `{short}` references `matraptor_{used}`, which is not \
+                         among its allowed dependencies {allowed:?}"
+                    ),
+                });
+            }
+            code = &code[pos + "matraptor_".len()..];
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// doc-drift
+// ---------------------------------------------------------------------------
+
+/// Every `fig*`/`table*`/`ablation*` binary under `crates/bench/src/bin/`
+/// must be documented in `EXPERIMENTS.md`.
+pub struct DocDrift;
+
+impl Rule for DocDrift {
+    fn name(&self) -> &'static str {
+        "doc-drift"
+    }
+    fn description(&self) -> &'static str {
+        "every fig*/table*/ablation* binary in crates/bench/src/bin/ must have \
+         a matching entry in EXPERIMENTS.md"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let experiments =
+            std::fs::read_to_string(ws.root.join("EXPERIMENTS.md")).unwrap_or_default();
+        let mut out = Vec::new();
+        for f in &ws.sources {
+            let Some(stem) =
+                f.rel.strip_prefix("crates/bench/src/bin/").and_then(|n| n.strip_suffix(".rs"))
+            else {
+                continue;
+            };
+            let tracked = ["fig", "table", "ablation"].iter().any(|p| stem.starts_with(p));
+            if tracked && !experiments.contains(stem) {
+                out.push(Violation {
+                    rule: "doc-drift",
+                    file: f.rel.clone(),
+                    line: 1,
+                    message: format!(
+                        "experiment binary `{stem}` has no matching entry in \
+                         EXPERIMENTS.md; document what it reproduces"
+                    ),
+                });
+            }
+        }
+        out
+    }
+}

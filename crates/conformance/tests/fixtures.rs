@@ -1,0 +1,98 @@
+//! Fixture tests: each synthetic workspace under `tests/fixtures/` triggers
+//! exactly one rule, and each also demonstrates the `conformance:allow`
+//! suppression for that rule. The real workspace walker skips these trees.
+
+use std::path::PathBuf;
+
+use matraptor_conformance::{run, Report};
+
+fn fixture(name: &str) -> Report {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    run(&root).unwrap_or_else(|e| panic!("failed to scan fixture `{name}`: {e}"))
+}
+
+#[test]
+fn determinism_rule_fires_and_suppresses() {
+    let report = fixture("determinism");
+    assert_eq!(
+        report.violations.len(),
+        1,
+        "expected exactly the HashMap import:\n{}",
+        report.human()
+    );
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "determinism");
+    assert_eq!(v.file, "crates/core/src/lib.rs");
+    assert_eq!(v.line, 3);
+    assert!(v.message.contains("HashMap"));
+    // The HashSet on line 6 carries an allow comment; the HashMap inside
+    // `#[cfg(test)]` is exempt without one.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn panic_safety_rule_fires_and_suppresses() {
+    let report = fixture("panic_safety");
+    assert_eq!(report.violations.len(), 1, "{}", report.human());
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "panic-safety");
+    assert_eq!(v.file, "crates/mem/src/lib.rs");
+    assert_eq!(v.line, 4);
+    assert!(v.message.contains(".unwrap()"));
+    // The `.expect(` on line 9 is justified with an allow comment; the
+    // unwrap inside the test module needs none.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn layering_rule_fires_on_manifest_and_source_back_edges() {
+    let report = fixture("layering");
+    assert_eq!(
+        report.violations.len(),
+        2,
+        "expected the sim->core manifest edge and import:\n{}",
+        report.human()
+    );
+    let manifest = report
+        .violations
+        .iter()
+        .find(|v| v.file == "crates/sim/Cargo.toml")
+        .expect("manifest back-edge flagged");
+    assert_eq!(manifest.rule, "layering");
+    assert_eq!(manifest.line, 6);
+    assert!(manifest.message.contains("matraptor-core"));
+    let source = report
+        .violations
+        .iter()
+        .find(|v| v.file == "crates/sim/src/lib.rs")
+        .expect("source back-edge flagged");
+    assert_eq!(source.line, 4);
+    assert!(source.message.contains("matraptor_core"));
+    // mem's allow-commented core edge is suppressed; its sim dep, its
+    // dev-dep on sparse, and the sparse use in tests/ are all legal.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn doc_drift_rule_fires_and_suppresses() {
+    let report = fixture("doc_drift");
+    assert_eq!(report.violations.len(), 1, "{}", report.human());
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "doc-drift");
+    assert_eq!(v.file, "crates/bench/src/bin/fig99_missing.rs");
+    assert_eq!(v.line, 1);
+    assert!(v.message.contains("fig99_missing"));
+    assert!(v.message.contains("EXPERIMENTS.md"));
+    // fig01_present is documented, sweep_extra is untracked, and
+    // ablation_allowed carries a line-1 allow comment.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn json_report_round_trips_rule_names() {
+    let json = fixture("determinism").json();
+    assert!(json.contains("\"rule\": \"determinism\""));
+    assert!(json.contains("\"file\": \"crates/core/src/lib.rs\""));
+    assert!(json.contains("\"line\": 3"));
+    assert!(json.contains("\"ok\": false"));
+}

@@ -1,0 +1,2 @@
+// conformance:allow(doc-drift): staging experiment, intentionally not in the writeup yet
+fn main() {}

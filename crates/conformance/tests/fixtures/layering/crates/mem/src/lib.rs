@@ -1,0 +1,3 @@
+//! mem may depend on sim — this file is clean. Never compiled.
+
+pub use matraptor_sim::Cycle;

@@ -1,0 +1,9 @@
+//! Integration tests run on dev-dependencies, which the layering rule
+//! exempts: this reference to sparse must not be flagged.
+
+use matraptor_sparse::rng::ChaCha8Rng;
+
+#[test]
+fn seeded() {
+    let _ = ChaCha8Rng::seed_from_u64(7);
+}

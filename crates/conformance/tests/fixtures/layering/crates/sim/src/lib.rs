@@ -1,0 +1,6 @@
+//! Synthetic crate exercising the layering rule: sim sits below core, so
+//! both the manifest edge and this import are back-edges. Never compiled.
+
+use matraptor_core::Accelerator;
+
+pub fn cycle(_a: &Accelerator) {}

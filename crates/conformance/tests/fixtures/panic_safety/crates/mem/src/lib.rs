@@ -1,0 +1,18 @@
+//! Synthetic crate exercising the panic-safety rule. Never compiled.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn checked_first(xs: &[u32]) -> u32 {
+    // conformance:allow(panic-safety): caller guarantees non-empty input
+    *xs.first().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        let _ = "7".parse::<u32>().unwrap();
+    }
+}

@@ -1,6 +1,6 @@
 //! The top-level accelerator: lanes over a shared HBM.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use matraptor_mem::Hbm;
 use matraptor_sim::stats::CycleBreakdown;
@@ -123,7 +123,7 @@ impl Accelerator {
 
         let ratio = cfg.mem_clock_ratio();
         let mut next_id: u64 = 0;
-        let mut route: HashMap<u64, usize> = HashMap::new();
+        let mut route: BTreeMap<u64, usize> = BTreeMap::new();
         let mut inboxes: Vec<Vec<u64>> = vec![Vec::new(); lanes_n];
 
         // Generous budget: SpGEMM needs at least one cycle per product;
@@ -137,6 +137,7 @@ impl Accelerator {
             if t.is_multiple_of(ratio) {
                 hbm.tick(mem_now);
                 while let Some(resp) = hbm.pop_response(mem_now) {
+                    // conformance:allow(panic-safety): invariant: every in-flight response id was recorded in `route` when issued
                     let lane = route.remove(&resp.id.0).expect("response for unknown lane");
                     inboxes[lane].push(resp.id.0);
                 }
@@ -156,12 +157,16 @@ impl Accelerator {
                     debug_assert!(consumed, "orphan response {id}");
                 }
 
-                let mut port =
-                    MemPort { hbm: &mut hbm, mem_now, next_id: &mut next_id, route: &mut route, lane: l };
+                let mut port = MemPort {
+                    hbm: &mut hbm,
+                    mem_now,
+                    next_id: &mut next_id,
+                    route: &mut route,
+                    lane: l,
+                };
 
-                let upstream_done = lane.spal.is_done()
-                    && lane.spbl.is_done()
-                    && lane.spal_out.is_empty();
+                let upstream_done =
+                    lane.spal.is_done() && lane.spbl.is_done() && lane.spal_out.is_empty();
                 lane.pe.tick(
                     &mut lane.pe_in,
                     &mut lane.writer,
@@ -211,7 +216,9 @@ impl Accelerator {
                 let ch: Vec<String> = hbm
                     .channel_stats()
                     .iter()
-                    .map(|c| format!("{:.2}", c.busy_cycles.get() as f64 / (t.max(1) / ratio) as f64))
+                    .map(|c| {
+                        format!("{:.2}", c.busy_cycles.get() as f64 / (t.max(1) / ratio) as f64)
+                    })
                     .collect();
                 eprintln!(
                     "  spbl blocked [data, info, staging_full, no_jobs] = {:?}; mean mem latency = {:.1}; ch busy = {:?}",
@@ -229,12 +236,14 @@ impl Accelerator {
 
         // Assemble the functional output in C²SR, per-lane row order.
         let mut c2sr =
+            // conformance:allow(panic-safety): invariant: lane count is validated positive at construction
             C2sr::new_for_output(a.rows(), b.cols(), lanes_n).expect("positive lane count");
         for lane in &lanes {
             for row in &lane.writer.finished {
                 c2sr.append_row(row.row as usize, &row.cols, &row.vals);
             }
         }
+        // conformance:allow(panic-safety): invariant check on the model's own output; a failure here is a simulator bug
         c2sr.validate().expect("accelerator output violates C2SR invariants");
         let c = c2sr.to_csr();
 
@@ -353,14 +362,9 @@ mod tests {
     #[test]
     fn empty_rows_and_columns_are_handled() {
         // Matrix with several all-zero rows.
-        let a = Csr::from_parts(
-            6,
-            6,
-            vec![0, 2, 2, 2, 3, 3, 3],
-            vec![1, 3, 0],
-            vec![1.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let a =
+            Csr::from_parts(6, 6, vec![0, 2, 2, 2, 3, 3, 3], vec![1, 3, 0], vec![1.0, 2.0, 3.0])
+                .unwrap();
         let outcome = Accelerator::new(MatRaptorConfig::small_test()).run(&a, &a);
         assert!(outcome.c.approx_eq(&spgemm::gustavson(&a, &a), 1e-9));
     }

@@ -123,10 +123,7 @@ impl MatRaptorConfig {
     /// this model supports).
     pub fn validate(&self) {
         assert!(self.num_lanes > 0, "need at least one lane");
-        assert!(
-            self.queues_per_pe > 2,
-            "need Q > 2 sorting queues (Q-1 primaries + helper)"
-        );
+        assert!(self.queues_per_pe > 2, "need Q > 2 sorting queues (Q-1 primaries + helper)");
         assert!(self.queue_capacity_entries() > 0, "queue smaller than one entry");
         assert!(self.entry_bytes > 0, "zero entry size");
         assert!(self.outstanding_requests > 0, "zero outstanding requests");

@@ -94,10 +94,7 @@ pub fn conversion_cycles_directed(
         while remaining > 0 {
             let boundary = (chan_local[ch] / chunk + 1) * chunk;
             let len = remaining.min(boundary - chan_local[ch]);
-            writes.push((
-                wbase + cfg.mem.channel_local_to_flat(ch, chan_local[ch]),
-                len as u32,
-            ));
+            writes.push((wbase + cfg.mem.channel_local_to_flat(ch, chan_local[ch]), len as u32));
             chan_local[ch] += len;
             remaining -= len;
         }
@@ -167,8 +164,7 @@ pub fn conversion_cycles_directed(
                 matraptor_mem::MemKind::Read => {
                     reads_done += 1;
                     // Each arrived read releases a matching share of writes.
-                    writes_released =
-                        (writes.len() * reads_done).div_ceil(reads.len().max(1));
+                    writes_released = (writes.len() * reads_done).div_ceil(reads.len().max(1));
                 }
                 matraptor_mem::MemKind::Write => writes_done += 1,
             }
@@ -194,10 +190,7 @@ mod tests {
         let small = conversion_cycles(&gen::uniform(200, 200, 2_000, 1), &cfg);
         let large = conversion_cycles(&gen::uniform(200, 200, 8_000, 1), &cfg);
         let ratio = large.mem_cycles as f64 / small.mem_cycles as f64;
-        assert!(
-            ratio > 2.0 && ratio < 6.0,
-            "4x nnz should cost ~4x cycles, got {ratio:.2}"
-        );
+        assert!(ratio > 2.0 && ratio < 6.0, "4x nnz should cost ~4x cycles, got {ratio:.2}");
     }
 
     #[test]

@@ -157,11 +157,7 @@ mod tests {
     fn default_regions_are_stripe_aligned_for_paper_config() {
         let cfg = HbmConfig::default();
         let stripe = cfg.interleave_bytes as u64 * cfg.num_channels as u64;
-        for base in [
-            Regions::DEFAULT.a_data,
-            Regions::DEFAULT.b_data,
-            Regions::DEFAULT.c_data,
-        ] {
+        for base in [Regions::DEFAULT.a_data, Regions::DEFAULT.b_data, Regions::DEFAULT.c_data] {
             assert_eq!(base % stripe, 0);
         }
     }

@@ -30,12 +30,12 @@
 #![warn(missing_debug_implementations)]
 
 mod accel;
-mod port;
 mod config;
 mod convert;
 mod driver;
 mod layout;
 mod pe;
+mod port;
 mod queue;
 mod spal;
 mod spbl;
@@ -45,7 +45,9 @@ mod writer;
 
 pub use accel::{Accelerator, RunOutcome};
 pub use config::MatRaptorConfig;
-pub use convert::{conversion_cycles, conversion_cycles_directed, ConversionDirection, ConversionReport};
+pub use convert::{
+    conversion_cycles, conversion_cycles_directed, ConversionDirection, ConversionReport,
+};
 pub use driver::{ConfigRegisters, Driver, DriverError, MtxWrite};
 pub use pe::Pe;
 pub use spal::SpAl;

@@ -63,10 +63,7 @@ impl Pe {
     pub(crate) fn new(cfg: &MatRaptorConfig) -> Self {
         let cap = cfg.queue_capacity_entries();
         Pe {
-            sets: [
-                QueueSet::new(cfg.queues_per_pe, cap),
-                QueueSet::new(cfg.queues_per_pe, cap),
-            ],
+            sets: [QueueSet::new(cfg.queues_per_pe, cap), QueueSet::new(cfg.queues_per_pe, cap)],
             double_buffering: cfg.double_buffering,
             fill: 0,
             vec_mode: None,
@@ -119,6 +116,7 @@ impl Pe {
             set.reset_for_new_row();
             self.phase2 = None;
         } else if writer.can_accept() {
+            // conformance:allow(panic-safety): invariant: caller checked the set is non-empty before popping
             let (col, val, popped) = set.pop_min().expect("set not empty");
             if popped > 1 {
                 self.additions.add(popped as u64 - 1);
@@ -235,6 +233,7 @@ impl Pe {
                                     return CycleClass::MergeStall;
                                 }
                                 let (c, v) =
+                                    // conformance:allow(panic-safety): invariant: `src` was selected because its queue front exists
                                     self.sets[self.fill].queue(src).pop().expect("front");
                                 self.sets[self.fill].queue(helper).push(c, v);
                                 return CycleClass::MergeStall;
@@ -245,6 +244,7 @@ impl Pe {
                                     return CycleClass::MergeStall;
                                 }
                                 let (_, v) =
+                                    // conformance:allow(panic-safety): invariant: `src` was selected because its queue front exists
                                     self.sets[self.fill].queue(src).pop().expect("front");
                                 self.sets[self.fill].queue(helper).push(col, v + val);
                                 input.pop_front();
@@ -272,6 +272,7 @@ impl Pe {
                                     return CycleClass::MergeStall;
                                 }
                                 let (c, v) =
+                                    // conformance:allow(panic-safety): invariant: `src` was selected because its queue front exists
                                     self.sets[self.fill].queue(src).pop().expect("front");
                                 self.sets[self.fill].queue(helper).push(c, v);
                                 return CycleClass::MergeStall;
@@ -289,6 +290,7 @@ impl Pe {
                                     return CycleClass::MergeStall;
                                 }
                                 let (c, v) =
+                                    // conformance:allow(panic-safety): invariant: `src` was selected because its queue front exists
                                     self.sets[self.fill].queue(src).pop().expect("front");
                                 self.sets[self.fill].queue(helper).push(c, v);
                                 return CycleClass::MergeStall;

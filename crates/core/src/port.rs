@@ -1,7 +1,7 @@
 //! The lane-side handle to the shared memory system (the crossbar of
 //! Fig. 5a).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use matraptor_mem::{Hbm, MemRequest};
 use matraptor_sim::Cycle;
@@ -19,7 +19,7 @@ pub(crate) struct MemPort<'a> {
     pub mem_now: Cycle,
     pub next_id: &'a mut u64,
     /// Request id → lane index, for response routing.
-    pub route: &'a mut HashMap<u64, usize>,
+    pub route: &'a mut BTreeMap<u64, usize>,
     /// The lane currently ticking.
     pub lane: usize,
 }

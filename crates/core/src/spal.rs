@@ -1,6 +1,6 @@
 //! Sparse Matrix A Loader (SpAL).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use matraptor_sparse::C2sr;
 
@@ -31,8 +31,8 @@ pub struct SpAl {
     current_plan: VecDeque<(u64, u32)>,
     /// Entry cursor within the current row (for decode bookkeeping).
     entries_issued: u32,
-    pending_info: HashMap<u64, usize>,
-    pending_data: HashMap<u64, DataSpan>,
+    pending_info: BTreeMap<u64, usize>,
+    pending_data: BTreeMap<u64, DataSpan>,
     /// Decoded tokens awaiting the downstream FIFO.
     staging: VecDeque<ATok>,
     /// In-flight request budget.
@@ -54,8 +54,7 @@ impl SpAl {
     /// Builds the loader for `lane`, taking the global row → lane
     /// round-robin assignment from the C²SR matrix itself.
     pub(crate) fn new(lane: usize, cfg: &MatRaptorConfig, a: &C2sr<f64>) -> Self {
-        let rows: Vec<u32> =
-            (lane..a.rows()).step_by(cfg.num_lanes).map(|r| r as u32).collect();
+        let rows: Vec<u32> = (lane..a.rows()).step_by(cfg.num_lanes).map(|r| r as u32).collect();
         let n = rows.len();
         SpAl {
             lane,
@@ -65,8 +64,8 @@ impl SpAl {
             info_ready: vec![false; n],
             current_plan: VecDeque::new(),
             entries_issued: 0,
-            pending_info: HashMap::new(),
-            pending_data: HashMap::new(),
+            pending_info: BTreeMap::new(),
+            pending_data: BTreeMap::new(),
             staging: VecDeque::new(),
             in_flight: 0,
             max_outstanding: cfg.outstanding_requests,

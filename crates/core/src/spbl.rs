@@ -1,6 +1,6 @@
 //! Sparse Matrix B Loader (SpBL).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use matraptor_sparse::C2sr;
 
@@ -24,8 +24,8 @@ use crate::tokens::{ATok, PeTok};
 pub struct SpBl {
     jobs: VecDeque<Job>,
     next_seq: u64,
-    pending_info: HashMap<u64, u64>,
-    pending_data: HashMap<u64, DataSpan>,
+    pending_info: BTreeMap<u64, u64>,
+    pending_data: BTreeMap<u64, DataSpan>,
     staging: VecDeque<PeTok>,
     in_flight: usize,
     max_outstanding: usize,
@@ -74,8 +74,8 @@ impl SpBl {
         SpBl {
             jobs: VecDeque::new(),
             next_seq: 0,
-            pending_info: HashMap::new(),
-            pending_data: HashMap::new(),
+            pending_info: BTreeMap::new(),
+            pending_data: BTreeMap::new(),
             staging: VecDeque::new(),
             in_flight: 0,
             max_outstanding: cfg.outstanding_requests,
@@ -191,8 +191,8 @@ impl SpBl {
                 if info_ready && !plan_built {
                     let info = b.row_info(b_row as usize);
                     let channel = b.channel_of(b_row as usize);
-                    let plan = layout
-                        .row_data_requests(&cfg.mem, channel, info, cfg.read_request_bytes);
+                    let plan =
+                        layout.row_data_requests(&cfg.mem, channel, info, cfg.read_request_bytes);
                     self.jobs[idx].len = info.len;
                     self.jobs[idx].plan = Some(plan.into());
                 }
@@ -219,11 +219,15 @@ impl SpBl {
         let mut drained_any = false;
         loop {
             if self.staging.len() >= self.staging_cap {
-                if !drained_any { self.blocked[2] += 1; }
+                if !drained_any {
+                    self.blocked[2] += 1;
+                }
                 break;
             }
             let Some(front) = self.jobs.front() else {
-                if !drained_any { self.blocked[3] += 1; }
+                if !drained_any {
+                    self.blocked[3] += 1;
+                }
                 break;
             };
             match front.kind {
@@ -233,7 +237,9 @@ impl SpBl {
                 }
                 JobKind::Fetch => {
                     if !front.info_ready || front.plan.is_none() {
-                        if !drained_any { self.blocked[1] += 1; }
+                        if !drained_any {
+                            self.blocked[1] += 1;
+                        }
                         break;
                     }
                     if front.drained_entries < front.ready_entries {
@@ -242,6 +248,7 @@ impl SpBl {
                         let val = front.a_val * b_vals[e];
                         let col = b_cols[e];
                         self.staging.push_back(PeTok::Product { val, col });
+                        // conformance:allow(panic-safety): invariant: a drain step only runs while a job is at the front
                         self.jobs.front_mut().expect("front exists").drained_entries += 1;
                         drained_any = true;
                     } else if front.drained_entries == front.len
@@ -255,7 +262,9 @@ impl SpBl {
                         }
                         self.jobs.pop_front();
                     } else {
-                        if !drained_any { self.blocked[0] += 1; }
+                        if !drained_any {
+                            self.blocked[0] += 1;
+                        }
                         break; // waiting for data responses
                     }
                 }

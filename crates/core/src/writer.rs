@@ -1,6 +1,6 @@
 //! Per-lane output writer: streams finished C rows to the lane's channel.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use crate::config::MatRaptorConfig;
 use crate::layout::{MatrixLayout, INFO_BYTES};
@@ -32,7 +32,7 @@ pub(crate) struct Writer {
     /// Write requests accepted by the buffer but not yet by the HBM.
     queue: VecDeque<(u64, u32)>,
     /// Ids of writes in flight.
-    pending: HashSet<u64>,
+    pending: BTreeSet<u64>,
     /// Current row being assembled.
     cur_row: Option<u32>,
     cur_cols: Vec<u32>,
@@ -53,7 +53,7 @@ impl Writer {
             local_cursor: 0,
             buffered_bytes: 0,
             queue: VecDeque::new(),
-            pending: HashSet::new(),
+            pending: BTreeSet::new(),
             cur_row: None,
             cur_cols: Vec::new(),
             cur_vals: Vec::new(),
@@ -118,7 +118,8 @@ impl Writer {
     }
 
     fn flush_data_burst(&mut self, cfg: &MatRaptorConfig) {
-        let addr = cfg.mem.channel_local_to_flat(self.lane, self.data_local_base() + self.local_cursor);
+        let addr =
+            cfg.mem.channel_local_to_flat(self.lane, self.data_local_base() + self.local_cursor);
         self.queue.push_back((addr, self.buffered_bytes));
         self.local_cursor += self.buffered_bytes as u64;
         self.buffered_bytes = 0;

@@ -88,14 +88,8 @@ fn degenerate_matrices() {
     let one = gen::uniform(1, 1, 1, 1);
     assert_eq!(accel.run(&one, &one).c.nnz(), 1);
     // Single dense row times single dense column.
-    let row = matraptor_sparse::Csr::from_parts(
-        1,
-        6,
-        vec![0, 6],
-        (0..6).collect(),
-        vec![1.0; 6],
-    )
-    .expect("valid");
+    let row = matraptor_sparse::Csr::from_parts(1, 6, vec![0, 6], (0..6).collect(), vec![1.0; 6])
+        .expect("valid");
     let col = row.transpose();
     let outcome = accel.run(&row, &col);
     assert_eq!(outcome.c.get(0, 0), Some(6.0));

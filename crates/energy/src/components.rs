@@ -12,7 +12,10 @@ pub struct AreaPower {
 impl AreaPower {
     /// Element-wise sum.
     pub fn plus(self, other: AreaPower) -> AreaPower {
-        AreaPower { area_mm2: self.area_mm2 + other.area_mm2, power_mw: self.power_mw + other.power_mw }
+        AreaPower {
+            area_mm2: self.area_mm2 + other.area_mm2,
+            power_mw: self.power_mw + other.power_mw,
+        }
     }
 
     /// Element-wise scale.
@@ -35,12 +38,36 @@ pub struct ComponentRow {
 /// The exact Table I rows (TSMC 28 nm, 8 lanes, 10 × 4 KB queues per PE).
 pub fn table1() -> Vec<ComponentRow> {
     vec![
-        ComponentRow { name: "PE", sub_item: false, cost: AreaPower { area_mm2: 1.981, power_mw: 1050.57 } },
-        ComponentRow { name: "Logic", sub_item: true, cost: AreaPower { area_mm2: 0.080, power_mw: 43.08 } },
-        ComponentRow { name: "Sorting Queues", sub_item: true, cost: AreaPower { area_mm2: 1.901, power_mw: 1007.49 } },
-        ComponentRow { name: "SpAL", sub_item: false, cost: AreaPower { area_mm2: 0.129, power_mw: 144.15 } },
-        ComponentRow { name: "SpBL", sub_item: false, cost: AreaPower { area_mm2: 0.129, power_mw: 144.15 } },
-        ComponentRow { name: "Crossbars", sub_item: false, cost: AreaPower { area_mm2: 0.016, power_mw: 6.067 } },
+        ComponentRow {
+            name: "PE",
+            sub_item: false,
+            cost: AreaPower { area_mm2: 1.981, power_mw: 1050.57 },
+        },
+        ComponentRow {
+            name: "Logic",
+            sub_item: true,
+            cost: AreaPower { area_mm2: 0.080, power_mw: 43.08 },
+        },
+        ComponentRow {
+            name: "Sorting Queues",
+            sub_item: true,
+            cost: AreaPower { area_mm2: 1.901, power_mw: 1007.49 },
+        },
+        ComponentRow {
+            name: "SpAL",
+            sub_item: false,
+            cost: AreaPower { area_mm2: 0.129, power_mw: 144.15 },
+        },
+        ComponentRow {
+            name: "SpBL",
+            sub_item: false,
+            cost: AreaPower { area_mm2: 0.129, power_mw: 144.15 },
+        },
+        ComponentRow {
+            name: "Crossbars",
+            sub_item: false,
+            cost: AreaPower { area_mm2: 0.016, power_mw: 6.067 },
+        },
     ]
 }
 
@@ -74,8 +101,8 @@ impl MatRaptorFloorplan {
     /// Total accelerator area and power at 28 nm.
     pub fn total(&self) -> AreaPower {
         let lanes = self.num_lanes as f64 / Self::REF_LANES;
-        let sram = (self.num_lanes * self.queues_per_pe * self.queue_bytes) as f64
-            / Self::REF_SRAM_BYTES;
+        let sram =
+            (self.num_lanes * self.queues_per_pe * self.queue_bytes) as f64 / Self::REF_SRAM_BYTES;
         let t1 = table1();
         let logic = t1[1].cost.scaled(lanes);
         let queues = t1[2].cost.scaled(sram);
@@ -105,10 +132,8 @@ mod tests {
         // Paper: total 2.257 mm², 1344.95 mW (PE row already includes its
         // sub-items).
         let t = table1();
-        let total_area: f64 =
-            t.iter().filter(|r| !r.sub_item).map(|r| r.cost.area_mm2).sum();
-        let total_power: f64 =
-            t.iter().filter(|r| !r.sub_item).map(|r| r.cost.power_mw).sum();
+        let total_area: f64 = t.iter().filter(|r| !r.sub_item).map(|r| r.cost.area_mm2).sum();
+        let total_power: f64 = t.iter().filter(|r| !r.sub_item).map(|r| r.cost.power_mw).sum();
         assert!((total_area - 2.255).abs() < 0.01, "area {total_area}");
         assert!((total_power - 1344.94).abs() < 0.5, "power {total_power}");
     }

@@ -107,6 +107,7 @@ impl Channel {
     pub(crate) fn enqueue(&mut self, frag: Fragment) {
         self.queue
             .try_push(frag)
+            // conformance:allow(panic-safety): documented contract: callers must check can_accept first
             .unwrap_or_else(|_| panic!("channel queue overflow; check can_accept first"));
     }
 
@@ -174,6 +175,7 @@ impl Channel {
                     // Bank busy with a different row's activation; wait.
                     return completed;
                 };
+                // conformance:allow(panic-safety): invariant: loop condition proved the queue is non-empty
                 let frag = self.queue.pop().expect("front exists");
                 let end = start + cfg.burst_cycles();
                 self.in_service = Some((frag, end));

@@ -1,6 +1,6 @@
 //! The multi-channel HBM device.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use matraptor_sim::{Cycle, LatencyPipe};
 
@@ -90,7 +90,7 @@ pub struct Hbm {
     cfg: HbmConfig,
     channels: Vec<Channel>,
     /// In-flight request bookkeeping: fragments remaining + original size.
-    pending: HashMap<RequestId, PendingRequest>,
+    pending: BTreeMap<RequestId, PendingRequest>,
     /// Completed requests waiting out the access latency.
     response_pipe: LatencyPipe<MemResponse>,
     completed_requests: u64,
@@ -116,7 +116,14 @@ impl Hbm {
         cfg.validate();
         let channels = (0..cfg.num_channels).map(|_| Channel::new(&cfg)).collect();
         let response_pipe = LatencyPipe::new(cfg.access_latency);
-        Hbm { cfg, channels, pending: HashMap::new(), response_pipe, completed_requests: 0, latency_sum: 0 }
+        Hbm {
+            cfg,
+            channels,
+            pending: BTreeMap::new(),
+            response_pipe,
+            completed_requests: 0,
+            latency_sum: 0,
+        }
     }
 
     /// The configuration this device was built with.
@@ -135,12 +142,7 @@ impl Hbm {
             let frag_end = burst_end.min(end);
             out.push((
                 self.cfg.channel_of_addr(addr),
-                Fragment {
-                    req_id: req.id,
-                    kind: req.kind,
-                    addr,
-                    bytes: (frag_end - addr) as u32,
-                },
+                Fragment { req_id: req.id, kind: req.kind, addr, bytes: (frag_end - addr) as u32 },
             ));
             addr = frag_end;
         }
@@ -152,7 +154,7 @@ impl Hbm {
         if req.bytes == 0 || self.pending.contains_key(&req.id) {
             return false;
         }
-        let mut need: HashMap<usize, usize> = HashMap::new();
+        let mut need: BTreeMap<usize, usize> = BTreeMap::new();
         for (ch, _) in self.fragments(req) {
             *need.entry(ch).or_insert(0) += 1;
         }
@@ -190,11 +192,13 @@ impl Hbm {
                     let p = self
                         .pending
                         .get_mut(&frag.req_id)
+                        // conformance:allow(panic-safety): invariant: fragments complete only for requests still pending
                         .expect("fragment completed for unknown request");
                     p.fragments_left -= 1;
                     p.fragments_left == 0
                 };
                 if done {
+                    // conformance:allow(panic-safety): invariant: presence checked two lines above
                     let p = self.pending.remove(&frag.req_id).expect("just seen");
                     self.completed_requests += 1;
                     self.latency_sum += (now - p.submitted) + self.cfg.access_latency;

@@ -97,11 +97,7 @@ pub fn measure_bandwidth(
 /// `row_bytes[i]` are laid out back-to-back in one flat allocation, rows
 /// are assigned to PEs round-robin, and each PE reads its rows in
 /// `element_bytes` chunks.
-pub fn csr_streams(
-    row_bytes: &[u64],
-    num_pes: usize,
-    element_bytes: u32,
-) -> Vec<RequestStream> {
+pub fn csr_streams(row_bytes: &[u64], num_pes: usize, element_bytes: u32) -> Vec<RequestStream> {
     assert!(num_pes > 0 && element_bytes > 0);
     // Prefix offsets of each row in the flat allocation.
     let mut offsets = Vec::with_capacity(row_bytes.len());
@@ -134,10 +130,7 @@ pub fn c2sr_streams(
     request_bytes: u32,
 ) -> Vec<RequestStream> {
     assert!(num_pes > 0 && request_bytes > 0);
-    assert_eq!(
-        num_pes, cfg.num_channels,
-        "Fig. 6 keeps PE count equal to channel count"
-    );
+    assert_eq!(num_pes, cfg.num_channels, "Fig. 6 keeps PE count equal to channel count");
     // Channel-local extent per PE.
     let mut local_len = vec![0u64; num_pes];
     for (i, &len) in row_bytes.iter().enumerate() {

@@ -1,18 +1,23 @@
-//! Property-based tests of the HBM model's request handling: every
+//! Property-style tests of the HBM model's request handling: every
 //! accepted request completes exactly once with exactly its bytes, no
 //! matter how requests split across bursts and channels.
+//!
+//! Runs as deterministic seeded sweeps (the offline build cannot fetch
+//! `proptest`); each case reproduces exactly from the printed seed.
 
 use matraptor_mem::{Hbm, HbmConfig, MemKind, MemRequest};
 use matraptor_sim::Cycle;
-use proptest::prelude::*;
-use std::collections::HashMap;
+use matraptor_sparse::rng::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+const CASES: u64 = 64;
 
 /// Drives a batch of requests to completion, returning (id → bytes) of
 /// responses and the elapsed mem cycles.
-fn drive(cfg: HbmConfig, reqs: Vec<MemRequest>) -> (HashMap<u64, (MemKind, u32)>, u64) {
+fn drive(cfg: HbmConfig, reqs: Vec<MemRequest>) -> (BTreeMap<u64, (MemKind, u32)>, u64) {
     let mut hbm = Hbm::new(cfg);
     let mut pending: Vec<MemRequest> = reqs;
-    let mut done = HashMap::new();
+    let mut done = BTreeMap::new();
     let total = pending.len();
     let mut t = 0u64;
     while done.len() < total {
@@ -29,44 +34,45 @@ fn drive(cfg: HbmConfig, reqs: Vec<MemRequest>) -> (HashMap<u64, (MemKind, u32)>
     (done, t)
 }
 
-fn request_strategy(max: usize) -> impl Strategy<Value = Vec<MemRequest>> {
-    proptest::collection::vec(
-        (0u64..1_000_000, 1u32..512, any::<bool>()),
-        1..max,
-    )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (addr, bytes, is_read))| {
-                if is_read {
-                    MemRequest::read(i as u64, addr, bytes)
-                } else {
-                    MemRequest::write(i as u64, addr, bytes)
-                }
-            })
-            .collect()
-    })
+/// Between 1 and `max - 1` random read/write requests with random addresses
+/// and sizes.
+fn random_requests(rng: &mut ChaCha8Rng, max: usize) -> Vec<MemRequest> {
+    let n = rng.gen_range(1..max);
+    (0..n)
+        .map(|i| {
+            let addr = rng.gen_range(0u64..1_000_000);
+            let bytes = rng.gen_range(1u32..512);
+            if rng.gen_bool(0.5) {
+                MemRequest::read(i as u64, addr, bytes)
+            } else {
+                MemRequest::write(i as u64, addr, bytes)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn every_request_completes_exactly_once(reqs in request_strategy(40)) {
+#[test]
+fn every_request_completes_exactly_once() {
+    for seed in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let reqs = random_requests(&mut rng, 40);
         let cfg = HbmConfig::default();
         let n = reqs.len();
-        let expect: HashMap<u64, (MemKind, u32)> =
+        let expect: BTreeMap<u64, (MemKind, u32)> =
             reqs.iter().map(|r| (r.id.0, (r.kind, r.bytes))).collect();
         let (done, _) = drive(cfg, reqs);
-        prop_assert_eq!(done.len(), n);
+        assert_eq!(done.len(), n, "seed {seed}");
         for (id, got) in &done {
-            prop_assert_eq!(got, &expect[id], "request {} response mismatch", id);
+            assert_eq!(got, &expect[id], "seed {seed}: request {id} response mismatch");
         }
     }
+}
 
-    #[test]
-    fn useful_bytes_account_exactly(reqs in request_strategy(30)) {
+#[test]
+fn useful_bytes_account_exactly() {
+    for seed in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x4B1D_0001);
+        let reqs = random_requests(&mut rng, 30);
         let cfg = HbmConfig::with_channels(4);
         let mut hbm = Hbm::new(cfg);
         let total_bytes: u64 = reqs.iter().map(|r| r.bytes as u64).sum();
@@ -82,28 +88,32 @@ proptest! {
                 completed += 1;
             }
             t += 1;
-            prop_assert!(t < 10_000_000);
+            assert!(t < 10_000_000, "seed {seed}");
         }
         let s = hbm.stats();
-        prop_assert_eq!(s.bytes_read + s.bytes_written, total_bytes);
+        assert_eq!(s.bytes_read + s.bytes_written, total_bytes, "seed {seed}");
         // Pin traffic is burst-quantized: at least the useful bytes, and a
         // whole number of bursts.
-        prop_assert!(s.traffic_read + s.traffic_written >= total_bytes);
-        prop_assert_eq!((s.traffic_read + s.traffic_written) % 64, 0);
-        prop_assert!(hbm.is_idle());
+        assert!(s.traffic_read + s.traffic_written >= total_bytes, "seed {seed}");
+        assert_eq!((s.traffic_read + s.traffic_written) % 64, 0, "seed {seed}");
+        assert!(hbm.is_idle(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn more_channels_rarely_slower(reqs in request_strategy(24)) {
+#[test]
+fn more_channels_rarely_slower() {
+    for seed in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x4B1D_0002);
+        let reqs = random_requests(&mut rng, 24);
         let (_, t2) = drive(HbmConfig::with_channels(2), reqs.clone());
         let (_, t8) = drive(HbmConfig::with_channels(8), reqs);
         // More channels means more parallelism, but the channel count also
         // changes which rows/banks addresses map to, so a small adversarial
         // batch can lose a little row locality. Allow one activation of
         // slack; anything beyond that indicates a scaling bug.
-        prop_assert!(
+        assert!(
             t8 <= t2 + HbmConfig::default().row_miss_penalty + 1,
-            "8ch {t8} vs 2ch {t2}"
+            "seed {seed}: 8ch {t8} vs 2ch {t2}"
         );
     }
 }

@@ -1,6 +1,6 @@
 //! Channel cyclic sparse row (C²SR) — the paper's hardware-friendly format.
 
-use crate::{Csr, FormatError, Index, Scalar};
+use crate::{Csr, FormatError, Index, Scalar, SparseError};
 
 /// Per-row metadata in C²SR: the paper's *(row length, row pointer)* pair.
 ///
@@ -65,21 +65,38 @@ impl<T: Scalar> C2sr<T> {
     ///
     /// Panics if `num_channels == 0`.
     pub fn from_csr(csr: &Csr<T>, num_channels: usize) -> Self {
-        assert!(num_channels > 0, "C2SR requires at least one channel");
+        // conformance:allow(panic-safety): documented panic at the infallible convenience boundary
+        Self::try_from_csr(csr, num_channels).unwrap_or_else(|e| panic!("C2sr::from_csr: {e}"))
+    }
+
+    /// Fallible [`C2sr::from_csr`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ZeroChannels`] if `num_channels == 0`.
+    pub fn try_from_csr(csr: &Csr<T>, num_channels: usize) -> Result<Self, SparseError> {
+        if num_channels == 0 {
+            return Err(SparseError::ZeroChannels);
+        }
         let mut chan_cols: Vec<Vec<Index>> = vec![Vec::new(); num_channels];
         let mut chan_vals: Vec<Vec<T>> = vec![Vec::new(); num_channels];
         let mut row_info = Vec::with_capacity(csr.rows());
         for i in 0..csr.rows() {
             let ch = i % num_channels;
             let (cols_slice, vals) = csr.row_slices(i);
-            row_info.push(C2srRow {
-                len: cols_slice.len() as u32,
-                offset: chan_cols[ch].len() as u32,
-            });
+            row_info
+                .push(C2srRow { len: cols_slice.len() as u32, offset: chan_cols[ch].len() as u32 });
             chan_cols[ch].extend_from_slice(cols_slice);
             chan_vals[ch].extend_from_slice(vals);
         }
-        C2sr { rows: csr.rows(), cols: csr.cols(), num_channels, row_info, chan_cols, chan_vals }
+        Ok(C2sr {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            num_channels,
+            row_info,
+            chan_cols,
+            chan_vals,
+        })
     }
 
     /// Creates an empty matrix whose rows will be appended through
@@ -126,10 +143,7 @@ impl<T: Scalar> C2sr<T> {
         let ch = row % self.num_channels;
         let offset = self.chan_cols[ch].len() as u32;
         let info = &mut self.row_info[row];
-        assert!(
-            info.len == 0 && info.offset == 0,
-            "row {row} appended twice"
-        );
+        assert!(info.len == 0 && info.offset == 0, "row {row} appended twice");
         *info = C2srRow { len: cols.len() as u32, offset };
         self.chan_cols[ch].extend_from_slice(cols);
         self.chan_vals[ch].extend_from_slice(vals);
@@ -359,10 +373,7 @@ mod tests {
 
     #[test]
     fn zero_channels_rejected() {
-        assert_eq!(
-            C2sr::<f64>::new_for_output(2, 2, 0).unwrap_err(),
-            FormatError::ZeroChannels
-        );
+        assert_eq!(C2sr::<f64>::new_for_output(2, 2, 0).unwrap_err(), FormatError::ZeroChannels);
     }
 
     #[test]

@@ -32,13 +32,7 @@ pub struct Csr<T> {
 impl<T: Scalar> Csr<T> {
     /// Creates an empty `rows × cols` matrix with no stored entries.
     pub fn zero(rows: usize, cols: usize) -> Self {
-        Csr {
-            rows,
-            cols,
-            row_ptr: vec![0; rows + 1],
-            col_idx: Vec::new(),
-            values: Vec::new(),
-        }
+        Csr { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -235,25 +229,15 @@ impl<T: Scalar> Csr<T> {
 
     /// Converts to CSC by a counting transpose-copy; O(nnz + rows + cols).
     pub fn to_csc(&self) -> Csc<T> {
-        let (col_ptr, row_idx, values) = transpose_arrays(
-            self.rows,
-            self.cols,
-            &self.row_ptr,
-            &self.col_idx,
-            &self.values,
-        );
+        let (col_ptr, row_idx, values) =
+            transpose_arrays(self.rows, self.cols, &self.row_ptr, &self.col_idx, &self.values);
         Csc::from_parts_unchecked(self.rows, self.cols, col_ptr, row_idx, values)
     }
 
     /// Returns the transpose as a new CSR matrix.
     pub fn transpose(&self) -> Csr<T> {
-        let (ptr, idx, values) = transpose_arrays(
-            self.rows,
-            self.cols,
-            &self.row_ptr,
-            &self.col_idx,
-            &self.values,
-        );
+        let (ptr, idx, values) =
+            transpose_arrays(self.rows, self.cols, &self.row_ptr, &self.col_idx, &self.values);
         Csr { rows: self.cols, cols: self.rows, row_ptr: ptr, col_idx: idx, values }
     }
 
@@ -279,11 +263,7 @@ impl<T: Scalar> Csr<T> {
             && self.cols == other.cols
             && self.row_ptr == other.row_ptr
             && self.col_idx == other.col_idx
-            && self
-                .values
-                .iter()
-                .zip(&other.values)
-                .all(|(&a, &b)| a.abs_diff(b) <= tol)
+            && self.values.iter().zip(&other.values).all(|(&a, &b)| a.abs_diff(b) <= tol)
     }
 }
 

@@ -200,10 +200,7 @@ mod tests {
     fn row_and_column_wise_are_symmetric() {
         let p = paper_scale_params();
         assert_eq!(p.reuse(Dataflow::RowWise), p.reuse(Dataflow::ColumnWise));
-        assert_eq!(
-            p.on_chip_entries(Dataflow::RowWise),
-            p.on_chip_entries(Dataflow::ColumnWise)
-        );
+        assert_eq!(p.on_chip_entries(Dataflow::RowWise), p.on_chip_entries(Dataflow::ColumnWise));
     }
 
     #[test]

@@ -166,8 +166,7 @@ mod tests {
 
     #[test]
     fn csr_dense_round_trip() {
-        let m =
-            Csr::from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.5, -2.5, 4.0]).unwrap();
+        let m = Csr::from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.5, -2.5, 4.0]).unwrap();
         assert_eq!(m.to_dense().to_csr(), m);
     }
 }

@@ -3,7 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
-/// Error returned when constructing a sparse format from untrusted parts.
+/// Canonical error type of the sparse layer.
+///
+/// Returned when constructing a sparse format from untrusted parts, and by
+/// the `try_*` SpGEMM kernel variants when operands don't conform.
 ///
 /// Every format in this crate validates its structural invariants on
 /// construction (`C-VALIDATE`): row pointers must be monotone, indices in
@@ -13,7 +16,7 @@ use std::fmt;
 /// surfaced eagerly here rather than as mis-simulations later.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
-pub enum FormatError {
+pub enum SparseError {
     /// A row or column index is outside the matrix dimensions.
     IndexOutOfBounds {
         /// Kind of index ("row" or "column").
@@ -59,37 +62,37 @@ pub enum FormatError {
     ZeroChannels,
 }
 
-impl fmt::Display for FormatError {
+impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FormatError::IndexOutOfBounds { axis, index, bound } => {
+            SparseError::IndexOutOfBounds { axis, index, bound } => {
                 write!(f, "{axis} index {index} out of bounds (dimension {bound})")
             }
-            FormatError::MalformedPointers { at } => {
+            SparseError::MalformedPointers { at } => {
                 write!(f, "pointer array is not monotone at position {at}")
             }
-            FormatError::PointerLength { expected, actual } => {
+            SparseError::PointerLength { expected, actual } => {
                 write!(f, "pointer array has length {actual}, expected {expected}")
             }
-            FormatError::ArrayLengthMismatch { indices, values } => {
+            SparseError::ArrayLengthMismatch { indices, values } => {
                 write!(f, "index array length {indices} does not match value array length {values}")
             }
-            FormatError::UnsortedIndices { outer } => {
+            SparseError::UnsortedIndices { outer } => {
                 write!(f, "indices not strictly increasing within row/column {outer}")
             }
-            FormatError::DimensionMismatch { left, right } => {
-                write!(
-                    f,
-                    "dimension mismatch: {}x{} vs {}x{}",
-                    left.0, left.1, right.0, right.1
-                )
+            SparseError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {}x{} vs {}x{}", left.0, left.1, right.0, right.1)
             }
-            FormatError::ZeroChannels => write!(f, "C2SR requires at least one channel"),
+            SparseError::ZeroChannels => write!(f, "C2SR requires at least one channel"),
         }
     }
 }
 
-impl Error for FormatError {}
+impl Error for SparseError {}
+
+/// Historical name of [`SparseError`], kept so existing callers and pattern
+/// matches keep compiling (enum variants resolve through type aliases).
+pub type FormatError = SparseError;
 
 #[cfg(test)]
 mod tests {
@@ -97,20 +100,20 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_concise() {
-        let msg = FormatError::ZeroChannels.to_string();
-        assert!(msg.starts_with(char::is_uppercase) == false || msg.starts_with("C2SR"));
+        let msg = SparseError::ZeroChannels.to_string();
+        assert!(!msg.starts_with(char::is_uppercase) || msg.starts_with("C2SR"));
         assert!(!msg.ends_with('.'));
     }
 
     #[test]
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<FormatError>();
+        assert_send_sync::<SparseError>();
     }
 
     #[test]
     fn display_mentions_offending_values() {
-        let e = FormatError::IndexOutOfBounds { axis: "column", index: 9, bound: 4 };
+        let e = SparseError::IndexOutOfBounds { axis: "column", index: 9, bound: 4 };
         let msg = e.to_string();
         assert!(msg.contains('9') && msg.contains('4') && msg.contains("column"));
     }

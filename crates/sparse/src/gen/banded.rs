@@ -1,7 +1,6 @@
 //! Banded random matrices (FEM / mesh / circuit stand-ins).
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::ChaCha8Rng;
 
 use crate::{Coo, Csr, Index, Scalar};
 

@@ -1,7 +1,6 @@
 //! Row-degree capping for synthetic power-law matrices.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::ChaCha8Rng;
 
 use crate::{Coo, Csr, Index, Scalar};
 

@@ -1,6 +1,6 @@
 //! Deterministic sparse matrix generators.
 //!
-//! Everything here is seeded ([`rand_chacha::ChaCha8Rng`]) so test failures
+//! Everything here is seeded ([`crate::rng::ChaCha8Rng`]) so test failures
 //! and benchmark runs reproduce exactly. Each generator has a `*_with`
 //! variant taking a value-sampling closure for non-`f64` element types; the
 //! plain variants fill values uniformly in `[0.5, 1.5)` (bounded away from
@@ -24,8 +24,7 @@ pub use regular::{regular, regular_with};
 pub use rmat::{rmat, rmat_with, RmatParams};
 pub use uniform::{uniform, uniform_with};
 
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use crate::rng::ChaCha8Rng;
 
 /// Default value sampler: uniform in `[0.5, 1.5)`.
 ///
@@ -59,6 +58,6 @@ mod tests {
     #[test]
     fn values_are_nonzero() {
         let m = uniform(40, 40, 150, 3);
-        assert!(m.values().iter().all(|&v| v >= 0.5 && v < 1.5));
+        assert!(m.values().iter().all(|&v| (0.5..1.5).contains(&v)));
     }
 }

@@ -1,7 +1,6 @@
 //! Fixed-degree random matrices (simplicial complex / cage stand-ins).
 
-use rand::{seq::SliceRandom, Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::ChaCha8Rng;
 
 use crate::{Coo, Csr, Index, Scalar};
 
@@ -41,7 +40,7 @@ where
         if k * 4 >= n {
             // Dense rows: shuffle-sample.
             let mut all: Vec<Index> = (0..n as Index).collect();
-            all.shuffle(&mut rng);
+            rng.shuffle(&mut all);
             cols.extend_from_slice(&all[..k]);
         } else {
             while cols.len() < k {

@@ -1,7 +1,6 @@
 //! R-MAT power-law graph generator.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::ChaCha8Rng;
 
 use crate::{Coo, Csr, Index, Scalar};
 
@@ -106,12 +105,12 @@ fn sample_position(rng: &mut ChaCha8Rng, levels: u32, n: usize, p: RmatParams) -
             c <<= 1;
             // Per-level noise keeps the distribution from collapsing onto a
             // lattice (standard R-MAT practice).
-            let jitter = 1.0 + p.noise * (rng.gen::<f64>() - 0.5);
+            let jitter = 1.0 + p.noise * (rng.gen_f64() - 0.5);
             let a = p.a * jitter;
             let b = p.b * jitter;
             let cq = p.c * jitter;
             let total = a + b + cq + p.d();
-            let x = rng.gen::<f64>() * total;
+            let x = rng.gen_f64() * total;
             if x < a {
                 // top-left: nothing to add
             } else if x < a + b {
@@ -154,10 +153,7 @@ mod tests {
         let m = rmat(512, 4096, RmatParams::skewed(), 19);
         let mean = m.mean_row_nnz();
         let max = m.max_row_nnz() as f64;
-        assert!(
-            max > 4.0 * mean,
-            "expected heavy tail: max={max}, mean={mean}"
-        );
+        assert!(max > 4.0 * mean, "expected heavy tail: max={max}, mean={mean}");
     }
 
     #[test]

@@ -10,9 +10,8 @@
 //! the accelerator is sensitive to.
 
 use crate::gen::{banded_with, regular_with, rmat_with, RmatParams};
+use crate::rng::ChaCha8Rng;
 use crate::Csr;
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 
 /// Structural family a matrix belongs to, choosing its generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,20 +119,132 @@ impl MatrixSpec {
 pub fn table2() -> Vec<MatrixSpec> {
     use Family::*;
     vec![
-        MatrixSpec { id: "wg", name: "web-Google", dim: 916_000, nnz: 5_100_000, family: PowerLaw(RmatParams::default()), max_degree: Some(456), domain: "web graph" },
-        MatrixSpec { id: "m2", name: "mario002", dim: 390_000, nnz: 2_100_000, family: Banded { rel_bandwidth: 0.002 }, max_degree: None, domain: "2D/3D mesh" },
-        MatrixSpec { id: "az", name: "amazon0312", dim: 401_000, nnz: 3_200_000, family: PowerLaw(RmatParams::default()), max_degree: Some(10), domain: "co-purchase network" },
-        MatrixSpec { id: "mb", name: "m133-b3", dim: 200_000, nnz: 801_000, family: Regular, max_degree: None, domain: "combinatorics" },
-        MatrixSpec { id: "sc", name: "scircuit", dim: 171_000, nnz: 959_000, family: Banded { rel_bandwidth: 0.01 }, max_degree: None, domain: "circuit simulation" },
-        MatrixSpec { id: "pg", name: "p2p-Gnutella31", dim: 63_000, nnz: 148_000, family: PowerLaw(RmatParams::mild()), max_degree: Some(78), domain: "p2p network" },
-        MatrixSpec { id: "of", name: "offshore", dim: 260_000, nnz: 4_200_000, family: Banded { rel_bandwidth: 0.005 }, max_degree: None, domain: "electromagnetics FEM" },
-        MatrixSpec { id: "cg", name: "cage12", dim: 130_000, nnz: 2_000_000, family: Regular, max_degree: None, domain: "DNA electrophoresis" },
-        MatrixSpec { id: "cs", name: "2cubes-sphere", dim: 101_000, nnz: 1_600_000, family: Banded { rel_bandwidth: 0.008 }, max_degree: None, domain: "electromagnetics FEM" },
-        MatrixSpec { id: "f3", name: "filter3D", dim: 106_000, nnz: 2_700_000, family: Banded { rel_bandwidth: 0.008 }, max_degree: None, domain: "3D filter" },
-        MatrixSpec { id: "cc", name: "ca-CondMat", dim: 23_000, nnz: 187_000, family: PowerLaw(RmatParams::mild()), max_degree: Some(280), domain: "collaboration network" },
-        MatrixSpec { id: "wv", name: "wiki-Vote", dim: 8_300, nnz: 104_000, family: PowerLaw(RmatParams::skewed()), max_degree: Some(893), domain: "voting network" },
-        MatrixSpec { id: "p3", name: "poisson3Da", dim: 14_000, nnz: 353_000, family: Banded { rel_bandwidth: 0.03 }, max_degree: None, domain: "computational fluid dynamics" },
-        MatrixSpec { id: "fb", name: "facebook", dim: 4_000, nnz: 176_000, family: PowerLaw(RmatParams::skewed()), max_degree: Some(1045), domain: "social network" },
+        MatrixSpec {
+            id: "wg",
+            name: "web-Google",
+            dim: 916_000,
+            nnz: 5_100_000,
+            family: PowerLaw(RmatParams::default()),
+            max_degree: Some(456),
+            domain: "web graph",
+        },
+        MatrixSpec {
+            id: "m2",
+            name: "mario002",
+            dim: 390_000,
+            nnz: 2_100_000,
+            family: Banded { rel_bandwidth: 0.002 },
+            max_degree: None,
+            domain: "2D/3D mesh",
+        },
+        MatrixSpec {
+            id: "az",
+            name: "amazon0312",
+            dim: 401_000,
+            nnz: 3_200_000,
+            family: PowerLaw(RmatParams::default()),
+            max_degree: Some(10),
+            domain: "co-purchase network",
+        },
+        MatrixSpec {
+            id: "mb",
+            name: "m133-b3",
+            dim: 200_000,
+            nnz: 801_000,
+            family: Regular,
+            max_degree: None,
+            domain: "combinatorics",
+        },
+        MatrixSpec {
+            id: "sc",
+            name: "scircuit",
+            dim: 171_000,
+            nnz: 959_000,
+            family: Banded { rel_bandwidth: 0.01 },
+            max_degree: None,
+            domain: "circuit simulation",
+        },
+        MatrixSpec {
+            id: "pg",
+            name: "p2p-Gnutella31",
+            dim: 63_000,
+            nnz: 148_000,
+            family: PowerLaw(RmatParams::mild()),
+            max_degree: Some(78),
+            domain: "p2p network",
+        },
+        MatrixSpec {
+            id: "of",
+            name: "offshore",
+            dim: 260_000,
+            nnz: 4_200_000,
+            family: Banded { rel_bandwidth: 0.005 },
+            max_degree: None,
+            domain: "electromagnetics FEM",
+        },
+        MatrixSpec {
+            id: "cg",
+            name: "cage12",
+            dim: 130_000,
+            nnz: 2_000_000,
+            family: Regular,
+            max_degree: None,
+            domain: "DNA electrophoresis",
+        },
+        MatrixSpec {
+            id: "cs",
+            name: "2cubes-sphere",
+            dim: 101_000,
+            nnz: 1_600_000,
+            family: Banded { rel_bandwidth: 0.008 },
+            max_degree: None,
+            domain: "electromagnetics FEM",
+        },
+        MatrixSpec {
+            id: "f3",
+            name: "filter3D",
+            dim: 106_000,
+            nnz: 2_700_000,
+            family: Banded { rel_bandwidth: 0.008 },
+            max_degree: None,
+            domain: "3D filter",
+        },
+        MatrixSpec {
+            id: "cc",
+            name: "ca-CondMat",
+            dim: 23_000,
+            nnz: 187_000,
+            family: PowerLaw(RmatParams::mild()),
+            max_degree: Some(280),
+            domain: "collaboration network",
+        },
+        MatrixSpec {
+            id: "wv",
+            name: "wiki-Vote",
+            dim: 8_300,
+            nnz: 104_000,
+            family: PowerLaw(RmatParams::skewed()),
+            max_degree: Some(893),
+            domain: "voting network",
+        },
+        MatrixSpec {
+            id: "p3",
+            name: "poisson3Da",
+            dim: 14_000,
+            nnz: 353_000,
+            family: Banded { rel_bandwidth: 0.03 },
+            max_degree: None,
+            domain: "computational fluid dynamics",
+        },
+        MatrixSpec {
+            id: "fb",
+            name: "facebook",
+            dim: 4_000,
+            nnz: 176_000,
+            family: PowerLaw(RmatParams::skewed()),
+            max_degree: Some(1045),
+            domain: "social network",
+        },
     ]
 }
 

@@ -1,7 +1,6 @@
 //! Uniform (Erdős–Rényi) random sparse matrices.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::ChaCha8Rng;
 
 use crate::{Coo, Csr, Index, Scalar};
 

@@ -81,9 +81,8 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr<f64>, MatrixMarke
     let mut lines = reader.lines().enumerate();
 
     // Header.
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| MatrixMarketError::BadHeader("empty input".into()))?;
+    let (_, header) =
+        lines.next().ok_or_else(|| MatrixMarketError::BadHeader("empty input".into()))?;
     let header = header?;
     let lower = header.to_ascii_lowercase();
     let fields: Vec<&str> = lower.split_whitespace().collect();
@@ -238,8 +237,7 @@ mod tests {
 
     #[test]
     fn skew_symmetric_negates() {
-        let text =
-            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n";
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n";
         let m = read_matrix_market(text.as_bytes()).expect("read");
         assert_eq!(m.get(1, 0), Some(3.0));
         assert_eq!(m.get(0, 1), Some(-3.0));
@@ -255,7 +253,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_skipped() {
-        let text = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% mid\n1 1 4.5\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% mid\n1 1 4.5\n";
         let m = read_matrix_market(text.as_bytes()).expect("read");
         assert_eq!(m.get(0, 0), Some(4.5));
     }

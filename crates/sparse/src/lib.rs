@@ -43,16 +43,17 @@ pub mod dataflow;
 pub mod gen;
 pub mod io;
 pub mod ops;
+pub mod rng;
 pub mod semiring;
-pub mod stats;
 pub mod spgemm;
+pub mod stats;
 
 pub use c2sr::{C2sr, C2srRow};
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
 pub use dense::Dense;
-pub use error::FormatError;
+pub use error::{FormatError, SparseError};
 pub use scalar::Scalar;
 pub use submatrix::top_left;
 

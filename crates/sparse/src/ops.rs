@@ -271,18 +271,9 @@ mod tests {
 
     #[test]
     fn add_is_commutative_and_associative_on_integers() {
-        let a = gen::uniform_with(20, 20, 80, 7, |rng| {
-            use rand::Rng;
-            rng.gen_range(1i64..10)
-        });
-        let b = gen::uniform_with(20, 20, 90, 8, |rng| {
-            use rand::Rng;
-            rng.gen_range(1i64..10)
-        });
-        let c = gen::uniform_with(20, 20, 70, 9, |rng| {
-            use rand::Rng;
-            rng.gen_range(1i64..10)
-        });
+        let a = gen::uniform_with(20, 20, 80, 7, |rng| rng.gen_range(1i64..10));
+        let b = gen::uniform_with(20, 20, 90, 8, |rng| rng.gen_range(1i64..10));
+        let c = gen::uniform_with(20, 20, 70, 9, |rng| rng.gen_range(1i64..10));
         assert_eq!(add(&a, &b), add(&b, &a));
         assert_eq!(add(&add(&a, &b), &c), add(&a, &add(&b, &c)));
     }

@@ -82,10 +82,7 @@ pub fn column_wise_with_stats<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> (Csc<T>, OpS
     }
 
     stats.output_nnz = row_idx.len() as u64;
-    (
-        Csc::from_parts_unchecked(a.rows(), b.cols(), col_ptr, row_idx, values),
-        stats,
-    )
+    (Csc::from_parts_unchecked(a.rows(), b.cols(), col_ptr, row_idx, values), stats)
 }
 
 #[cfg(test)]
@@ -98,12 +95,10 @@ mod tests {
     #[test]
     fn agrees_with_gustavson_exactly_on_integers() {
         let a = gen::rmat_with(60, 420, gen::RmatParams::default(), 81, |rng| {
-            use rand::Rng;
-            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8)).unwrap()
+            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8usize)).unwrap()
         });
         let b = gen::rmat_with(60, 400, gen::RmatParams::default(), 82, |rng| {
-            use rand::Rng;
-            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8)).unwrap()
+            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8usize)).unwrap()
         });
         assert_eq!(column_wise(&a.to_csc(), &b.to_csc()).to_csr(), gustavson(&a, &b));
     }
@@ -114,7 +109,8 @@ mod tests {
         // gustavson(B, A) (transpose duality).
         let a = gen::uniform(40, 40, 200, 91);
         let b = gen::uniform(40, 40, 220, 92);
-        let (_, col_stats) = column_wise_with_stats(&b.transpose().to_csc(), &a.transpose().to_csc());
+        let (_, col_stats) =
+            column_wise_with_stats(&b.transpose().to_csc(), &a.transpose().to_csc());
         let (_, row_stats) = crate::spgemm::gustavson_with_stats(&a, &b);
         assert_eq!(col_stats.multiplies, row_stats.multiplies);
         assert_eq!(col_stats.output_nnz, row_stats.output_nnz);

@@ -83,8 +83,7 @@ mod tests {
     #[test]
     fn agrees_with_gustavson_exactly_on_integers() {
         let a = gen::rmat_with(128, 900, gen::RmatParams::default(), 21, |rng| {
-            use rand::Rng;
-            *[-5i64, -4, -3, -2, -1, 1, 2, 3, 4, 5].get(rng.gen_range(0..10)).unwrap()
+            *[-5i64, -4, -3, -2, -1, 1, 2, 3, 4, 5].get(rng.gen_range(0..10usize)).unwrap()
         });
         assert_eq!(dense_accumulator(&a, &a), gustavson(&a, &a));
     }

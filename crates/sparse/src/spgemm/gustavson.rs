@@ -1,7 +1,7 @@
 //! Row-wise product (Gustavson's algorithm) — the paper's chosen dataflow.
 
 use super::OpStats;
-use crate::{Csr, Index, Scalar};
+use crate::{Csr, Index, Scalar, SparseError};
 
 /// Multiplies `a * b` with the row-wise product: for each non-zero
 /// `a[i,k]`, the scalar-vector product `a[i,k] * B[k,:]` is merged into row
@@ -26,20 +26,32 @@ use crate::{Csr, Index, Scalar};
 /// assert_eq!(c, a);
 /// ```
 pub fn gustavson<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
-    gustavson_with_stats(a, b).0
+    // conformance:allow(panic-safety): documented panic at the infallible convenience boundary
+    try_gustavson(a, b).unwrap_or_else(|e| panic!("gustavson: {e}"))
+}
+
+/// Fallible [`gustavson`]: returns [`SparseError::DimensionMismatch`]
+/// instead of panicking on non-conformable operands.
+pub fn try_gustavson<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>, SparseError> {
+    Ok(try_gustavson_with_stats(a, b)?.0)
 }
 
 /// [`gustavson`] plus operation counts.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
 pub fn gustavson_with_stats<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> (Csr<T>, OpStats) {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "inner dimensions must agree: {}x{} * {}x{}",
-        a.rows(),
-        a.cols(),
-        b.rows(),
-        b.cols()
-    );
+    // conformance:allow(panic-safety): documented panic at the infallible convenience boundary
+    try_gustavson_with_stats(a, b).unwrap_or_else(|e| panic!("gustavson: {e}"))
+}
+
+/// Fallible [`gustavson_with_stats`].
+pub fn try_gustavson_with_stats<T: Scalar>(
+    a: &Csr<T>,
+    b: &Csr<T>,
+) -> Result<(Csr<T>, OpStats), SparseError> {
+    super::check_conformable((a.rows(), a.cols()), (b.rows(), b.cols()))?;
     let mut stats = OpStats::default();
     let mut row_ptr = vec![0usize; a.rows() + 1];
     let mut col_idx: Vec<Index> = Vec::new();
@@ -71,7 +83,7 @@ pub fn gustavson_with_stats<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> (Csr<T>, OpSta
     }
 
     stats.output_nnz = col_idx.len() as u64;
-    (Csr::from_parts_unchecked(a.rows(), b.cols(), row_ptr, col_idx, values), stats)
+    Ok((Csr::from_parts_unchecked(a.rows(), b.cols(), row_ptr, col_idx, values), stats))
 }
 
 /// Merges `scale * (cols, vals)` into the sorted accumulator `acc`,
@@ -147,8 +159,7 @@ mod tests {
     fn cancellation_drops_entries() {
         // Row [1, -1] times B with identical rows cancels exactly.
         let a = Csr::from_parts(1, 2, vec![0, 2], vec![0, 1], vec![1i64, -1]).unwrap();
-        let b =
-            Csr::from_parts(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1], vec![3, 4, 3, 4]).unwrap();
+        let b = Csr::from_parts(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1], vec![3, 4, 3, 4]).unwrap();
         let c = gustavson(&a, &b);
         assert_eq!(c.nnz(), 0);
     }
@@ -165,11 +176,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "inner dimensions")]
+    #[should_panic(expected = "dimension mismatch")]
     fn dimension_mismatch_panics() {
         let a = Csr::<f64>::identity(3);
         let b = Csr::<f64>::identity(4);
         let _ = gustavson(&a, &b);
+    }
+
+    #[test]
+    fn try_variant_reports_mismatch_without_panicking() {
+        let a = Csr::<f64>::identity(3);
+        let b = Csr::<f64>::identity(4);
+        assert_eq!(
+            try_gustavson(&a, &b),
+            Err(SparseError::DimensionMismatch { left: (3, 3), right: (4, 4) })
+        );
+        assert!(try_gustavson(&a, &a).is_ok());
     }
 
     #[test]

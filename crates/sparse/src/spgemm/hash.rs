@@ -79,8 +79,7 @@ mod tests {
     #[test]
     fn agrees_with_gustavson_exactly_on_integers() {
         let a = gen::rmat_with(100, 800, gen::RmatParams::default(), 71, |rng| {
-            use rand::Rng;
-            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8)).unwrap()
+            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8usize)).unwrap()
         });
         assert_eq!(hash_accumulator(&a, &a), gustavson(&a, &a));
     }

@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use super::OpStats;
-use crate::{Csr, Index, Scalar};
+use crate::{Csr, Index, Scalar, SparseError};
 
 /// Multiplies `a * b` row-wise, merging the scaled B-rows of each output
 /// row with a k-way min-heap keyed on column id.
@@ -20,20 +20,32 @@ use crate::{Csr, Index, Scalar};
 ///
 /// Panics if `a.cols() != b.rows()`.
 pub fn heap_merge<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
-    heap_merge_with_stats(a, b).0
+    // conformance:allow(panic-safety): documented panic at the infallible convenience boundary
+    try_heap_merge(a, b).unwrap_or_else(|e| panic!("heap_merge: {e}"))
+}
+
+/// Fallible [`heap_merge`]: returns [`SparseError::DimensionMismatch`]
+/// instead of panicking on non-conformable operands.
+pub fn try_heap_merge<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>, SparseError> {
+    Ok(try_heap_merge_with_stats(a, b)?.0)
 }
 
 /// [`heap_merge`] plus operation counts.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
 pub fn heap_merge_with_stats<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> (Csr<T>, OpStats) {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "inner dimensions must agree: {}x{} * {}x{}",
-        a.rows(),
-        a.cols(),
-        b.rows(),
-        b.cols()
-    );
+    // conformance:allow(panic-safety): documented panic at the infallible convenience boundary
+    try_heap_merge_with_stats(a, b).unwrap_or_else(|e| panic!("heap_merge: {e}"))
+}
+
+/// Fallible [`heap_merge_with_stats`].
+pub fn try_heap_merge_with_stats<T: Scalar>(
+    a: &Csr<T>,
+    b: &Csr<T>,
+) -> Result<(Csr<T>, OpStats), SparseError> {
+    super::check_conformable((a.rows(), a.cols()), (b.rows(), b.cols()))?;
     let mut stats = OpStats::default();
     let mut row_ptr = vec![0usize; a.rows() + 1];
     let mut col_idx: Vec<Index> = Vec::new();
@@ -99,7 +111,7 @@ pub fn heap_merge_with_stats<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> (Csr<T>, OpSt
     }
 
     stats.output_nnz = col_idx.len() as u64;
-    (Csr::from_parts_unchecked(a.rows(), b.cols(), row_ptr, col_idx, values), stats)
+    Ok((Csr::from_parts_unchecked(a.rows(), b.cols(), row_ptr, col_idx, values), stats))
 }
 
 #[cfg(test)]
@@ -111,12 +123,10 @@ mod tests {
     #[test]
     fn agrees_with_gustavson_exactly_on_integers() {
         let a = gen::rmat_with(96, 700, gen::RmatParams::default(), 31, |rng| {
-            use rand::Rng;
-            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8)).unwrap()
+            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8usize)).unwrap()
         });
         let b = gen::rmat_with(96, 650, gen::RmatParams::default(), 32, |rng| {
-            use rand::Rng;
-            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8)).unwrap()
+            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8usize)).unwrap()
         });
         assert_eq!(heap_merge(&a, &b), gustavson(&a, &b));
     }
@@ -135,10 +145,7 @@ mod tests {
         .unwrap();
         let c = heap_merge(&a, &b);
         let row: Vec<_> = c.row(0).collect();
-        assert_eq!(
-            row,
-            vec![(0, 1.0), (1, 3.0), (2, 5.0), (3, 2.0), (4, 4.0), (5, 6.0)]
-        );
+        assert_eq!(row, vec![(0, 1.0), (1, 3.0), (2, 5.0), (3, 2.0), (4, 4.0), (5, 6.0)]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Inner-product dataflow (row of A · column of B).
 
 use super::OpStats;
-use crate::{Csc, Csr, Index, Scalar};
+use crate::{Csc, Csr, Index, Scalar, SparseError};
 
 /// Multiplies `a * b` with the inner-product dataflow: every output entry
 /// `C[i,j]` is a sparse dot product of A's row *i* and B's column *j*
@@ -17,20 +17,32 @@ use crate::{Csc, Csr, Index, Scalar};
 ///
 /// Panics if `a.cols() != b.rows()`.
 pub fn inner<T: Scalar>(a: &Csr<T>, b: &Csc<T>) -> Csr<T> {
-    inner_with_stats(a, b).0
+    // conformance:allow(panic-safety): documented panic at the infallible convenience boundary
+    try_inner(a, b).unwrap_or_else(|e| panic!("inner: {e}"))
+}
+
+/// Fallible [`inner`]: returns [`SparseError::DimensionMismatch`] instead
+/// of panicking on non-conformable operands.
+pub fn try_inner<T: Scalar>(a: &Csr<T>, b: &Csc<T>) -> Result<Csr<T>, SparseError> {
+    Ok(try_inner_with_stats(a, b)?.0)
 }
 
 /// [`inner`] plus operation counts.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
 pub fn inner_with_stats<T: Scalar>(a: &Csr<T>, b: &Csc<T>) -> (Csr<T>, OpStats) {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "inner dimensions must agree: {}x{} * {}x{}",
-        a.rows(),
-        a.cols(),
-        b.rows(),
-        b.cols()
-    );
+    // conformance:allow(panic-safety): documented panic at the infallible convenience boundary
+    try_inner_with_stats(a, b).unwrap_or_else(|e| panic!("inner: {e}"))
+}
+
+/// Fallible [`inner_with_stats`].
+pub fn try_inner_with_stats<T: Scalar>(
+    a: &Csr<T>,
+    b: &Csc<T>,
+) -> Result<(Csr<T>, OpStats), SparseError> {
+    super::check_conformable((a.rows(), a.cols()), (b.rows(), b.cols()))?;
     let mut stats = OpStats::default();
     let mut row_ptr = vec![0usize; a.rows() + 1];
     let mut col_idx: Vec<Index> = Vec::new();
@@ -79,7 +91,7 @@ pub fn inner_with_stats<T: Scalar>(a: &Csr<T>, b: &Csc<T>) -> (Csr<T>, OpStats) 
     }
 
     stats.output_nnz = col_idx.len() as u64;
-    (Csr::from_parts_unchecked(a.rows(), b.cols(), row_ptr, col_idx, values), stats)
+    Ok((Csr::from_parts_unchecked(a.rows(), b.cols(), row_ptr, col_idx, values), stats))
 }
 
 #[cfg(test)]
@@ -91,8 +103,7 @@ mod tests {
     #[test]
     fn agrees_with_gustavson_exactly_on_integers() {
         let a = gen::rmat_with(80, 500, gen::RmatParams::default(), 51, |rng| {
-            use rand::Rng;
-            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8)).unwrap()
+            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8usize)).unwrap()
         });
         assert_eq!(inner(&a, &a.to_csc()), gustavson(&a, &a));
     }

@@ -24,13 +24,25 @@ mod outer;
 
 pub use column::{column_wise, column_wise_with_stats};
 pub use dense_acc::{dense_accumulator, dense_accumulator_with_stats};
-pub use gustavson::{gustavson, gustavson_with_stats};
+pub use gustavson::{gustavson, gustavson_with_stats, try_gustavson, try_gustavson_with_stats};
 pub use hash::{hash_accumulator, hash_accumulator_with_stats};
-pub use heap::{heap_merge, heap_merge_with_stats};
-pub use inner::{inner, inner_with_stats};
-pub use outer::{outer, outer_with_stats};
+pub use heap::{heap_merge, heap_merge_with_stats, try_heap_merge, try_heap_merge_with_stats};
+pub use inner::{inner, inner_with_stats, try_inner, try_inner_with_stats};
+pub use outer::{outer, outer_with_stats, try_outer, try_outer_with_stats};
 
-use crate::{Csr, Scalar};
+use crate::{Csr, Scalar, SparseError};
+
+/// Shared conformability check for the `try_*` kernels: `left * right` is
+/// only defined when `left.cols == right.rows`.
+pub(crate) fn check_conformable(
+    left: (usize, usize),
+    right: (usize, usize),
+) -> Result<(), SparseError> {
+    if left.1 != right.0 {
+        return Err(SparseError::DimensionMismatch { left, right });
+    }
+    Ok(())
+}
 
 /// Operation counts collected by the `*_with_stats` kernel variants.
 ///
@@ -109,12 +121,10 @@ mod tests {
     fn exact_agreement_on_integer_matrices() {
         // i64 arithmetic is exact, so all algorithms must agree bit-for-bit.
         let a = gen::rmat_with(64, 400, gen::RmatParams::default(), 3, |rng| {
-            use rand::Rng;
-            *[-3i64, -2, -1, 1, 2, 3].get(rng.gen_range(0..6)).unwrap()
+            *[-3i64, -2, -1, 1, 2, 3].get(rng.gen_range(0..6usize)).unwrap()
         });
         let b = gen::rmat_with(64, 380, gen::RmatParams::default(), 5, |rng| {
-            use rand::Rng;
-            *[-3i64, -2, -1, 1, 2, 3].get(rng.gen_range(0..6)).unwrap()
+            *[-3i64, -2, -1, 1, 2, 3].get(rng.gen_range(0..6usize)).unwrap()
         });
         let reference = gustavson(&a, &b);
         assert_eq!(dense_accumulator(&a, &b), reference);

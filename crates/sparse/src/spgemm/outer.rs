@@ -1,7 +1,7 @@
 //! Outer-product dataflow (column of A × row of B) — OuterSPACE's approach.
 
 use super::OpStats;
-use crate::{Coo, Csc, Csr, Scalar};
+use crate::{Coo, Csc, Csr, Scalar, SparseError};
 
 /// Multiplies `a * b` with the outer-product dataflow: for each *k*, the
 /// outer product of A's column *k* and B's row *k* contributes partial sums
@@ -18,20 +18,32 @@ use crate::{Coo, Csc, Csr, Scalar};
 /// Panics if `a.rows()`/`a.cols()` don't conform with `b`
 /// (`a.cols() != b.rows()`).
 pub fn outer<T: Scalar>(a: &Csc<T>, b: &Csr<T>) -> Csr<T> {
-    outer_with_stats(a, b).0
+    // conformance:allow(panic-safety): documented panic at the infallible convenience boundary
+    try_outer(a, b).unwrap_or_else(|e| panic!("outer: {e}"))
+}
+
+/// Fallible [`outer`]: returns [`SparseError::DimensionMismatch`] instead
+/// of panicking on non-conformable operands.
+pub fn try_outer<T: Scalar>(a: &Csc<T>, b: &Csr<T>) -> Result<Csr<T>, SparseError> {
+    Ok(try_outer_with_stats(a, b)?.0)
 }
 
 /// [`outer`] plus operation counts.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
 pub fn outer_with_stats<T: Scalar>(a: &Csc<T>, b: &Csr<T>) -> (Csr<T>, OpStats) {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "inner dimensions must agree: {}x{} * {}x{}",
-        a.rows(),
-        a.cols(),
-        b.rows(),
-        b.cols()
-    );
+    // conformance:allow(panic-safety): documented panic at the infallible convenience boundary
+    try_outer_with_stats(a, b).unwrap_or_else(|e| panic!("outer: {e}"))
+}
+
+/// Fallible [`outer_with_stats`].
+pub fn try_outer_with_stats<T: Scalar>(
+    a: &Csc<T>,
+    b: &Csr<T>,
+) -> Result<(Csr<T>, OpStats), SparseError> {
+    super::check_conformable((a.rows(), a.cols()), (b.rows(), b.cols()))?;
     let mut stats = OpStats::default();
 
     // Phase 1 (multiply): materialise all partial products. This is the
@@ -56,7 +68,7 @@ pub fn outer_with_stats<T: Scalar>(a: &Csc<T>, b: &Csr<T>) -> (Csr<T>, OpStats) 
     // Each duplicate folded into a predecessor is one addition.
     stats.additions = before.saturating_sub(count_unique_coords(&c) as u64);
     stats.output_nnz = c.nnz() as u64;
-    (c, stats)
+    Ok((c, stats))
 }
 
 fn count_unique_coords<T: Scalar>(c: &Csr<T>) -> usize {
@@ -78,12 +90,10 @@ mod tests {
     #[test]
     fn agrees_with_gustavson_exactly_on_integers() {
         let a = gen::rmat_with(72, 480, gen::RmatParams::default(), 61, |rng| {
-            use rand::Rng;
-            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8)).unwrap()
+            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8usize)).unwrap()
         });
         let b = gen::rmat_with(72, 470, gen::RmatParams::default(), 62, |rng| {
-            use rand::Rng;
-            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8)).unwrap()
+            *[-4i64, -3, -2, -1, 1, 2, 3, 4].get(rng.gen_range(0..8usize)).unwrap()
         });
         assert_eq!(outer(&a.to_csc(), &b), gustavson(&a, &b));
     }

@@ -41,8 +41,8 @@ mod tests {
     #[test]
     fn extracts_corner() {
         // 3x3 with entries at (0,0), (0,2), (2,1).
-        let m = Csr::from_parts(3, 3, vec![0, 2, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
-            .unwrap();
+        let m =
+            Csr::from_parts(3, 3, vec![0, 2, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap();
         let t = top_left(&m, 2);
         assert_eq!((t.rows(), t.cols()), (2, 2));
         assert_eq!(t.nnz(), 1); // (0,2) falls outside, (2,1) outside; only (0,0)

@@ -53,6 +53,9 @@ fn main() {
     );
     println!("  load imbalance    : {:.3} (max/min nnz per PE)", s.load_imbalance());
     if s.overflow_rows > 0 {
-        println!("  overflow rows     : {} (handled by the Section VII CPU fallback)", s.overflow_rows);
+        println!(
+            "  overflow rows     : {} (handled by the Section VII CPU fallback)",
+            s.overflow_rows
+        );
     }
 }

@@ -35,11 +35,7 @@ fn count_triangles(a: &Csr<f64>, a_squared: &Csr<f64>) -> u64 {
 
 fn main() {
     let graph = undirected(&gen::rmat(3000, 18_000, gen::RmatParams::mild(), 11));
-    println!(
-        "graph: {} nodes, {} undirected edges",
-        graph.rows(),
-        graph.nnz() / 2
-    );
+    println!("graph: {} nodes, {} undirected edges", graph.rows(), graph.nnz() / 2);
 
     let accel = Accelerator::new(MatRaptorConfig::default());
     let outcome = accel.run(&graph, &graph);

@@ -1,61 +1,66 @@
-//! Property-based equivalence: the simulated accelerator vs the software
-//! reference, exact on integer-valued floats.
+//! Equivalence sweep: the simulated accelerator vs the software reference,
+//! exact on integer-valued floats.
+//!
+//! The offline build cannot fetch `proptest`, so the original property
+//! tests run as deterministic seeded sweeps; every case reproduces exactly
+//! from the printed seed.
 
 use matraptor::accel::{Accelerator, MatRaptorConfig};
+use matraptor::sparse::rng::ChaCha8Rng;
 use matraptor::sparse::{spgemm, Coo, Csr};
-use proptest::prelude::*;
 
-/// Strategy: a small random matrix with *integer-valued* f64 entries, so
+// The cycle simulation is comparatively slow; keep the case count sane.
+const CASES: u64 = 48;
+
+/// A small random square matrix with *integer-valued* f64 entries, so
 /// accumulation order cannot perturb results and equality is exact.
-fn int_matrix(
-    max_dim: usize,
-    max_nnz: usize,
-) -> impl Strategy<Value = Csr<f64>> {
-    (2..max_dim).prop_flat_map(move |n| {
-        let entry = (0..n as u32, 0..n as u32, prop_oneof![(-8i32..=-1), (1i32..=8)]);
-        proptest::collection::vec(entry, 0..max_nnz).prop_map(move |v| {
-            let mut coo = Coo::new(n, n);
-            for (rr, cc, vv) in v {
-                coo.push(rr, cc, f64::from(vv));
-            }
-            coo.compress()
-        })
-    })
+fn int_matrix(rng: &mut ChaCha8Rng, max_dim: usize, max_nnz: usize) -> Csr<f64> {
+    let n = rng.gen_range(2..max_dim);
+    let nnz = rng.gen_range(0..max_nnz);
+    let mut coo = Coo::new(n, n);
+    for _ in 0..nnz {
+        let r = rng.gen_range(0..n as u32);
+        let c = rng.gen_range(0..n as u32);
+        coo.push(r, c, int_value(rng));
+    }
+    coo.compress()
+}
+
+/// Uniform non-zero integer-valued f64 in ±[1, 8].
+fn int_value(rng: &mut ChaCha8Rng) -> f64 {
+    let magnitude = rng.gen_range(1i64..9) as f64;
+    if rng.gen_bool(0.5) {
+        -magnitude
+    } else {
+        magnitude
+    }
 }
 
 /// Conformable pair (A: r×k, B: k×c).
-fn conformable_pair() -> impl Strategy<Value = (Csr<f64>, Csr<f64>)> {
-    (2usize..24, 2usize..24, 2usize..24).prop_flat_map(|(r, k, c)| {
-        let a = {
-            let entry = (0..r as u32, 0..k as u32, prop_oneof![(-8i32..=-1), (1i32..=8)]);
-            proptest::collection::vec(entry, 0..80).prop_map(move |v| {
-                let mut coo = Coo::new(r, k);
-                for (rr, cc, vv) in v {
-                    coo.push(rr, cc, f64::from(vv));
-                }
-                coo.compress()
-            })
-        };
-        let b = {
-            let entry = (0..k as u32, 0..c as u32, prop_oneof![(-8i32..=-1), (1i32..=8)]);
-            proptest::collection::vec(entry, 0..80).prop_map(move |v| {
-                let mut coo = Coo::new(k, c);
-                for (rr, cc, vv) in v {
-                    coo.push(rr, cc, f64::from(vv));
-                }
-                coo.compress()
-            })
-        };
-        (a, b)
-    })
+fn conformable_pair(rng: &mut ChaCha8Rng) -> (Csr<f64>, Csr<f64>) {
+    let r = rng.gen_range(2usize..24);
+    let k = rng.gen_range(2usize..24);
+    let c = rng.gen_range(2usize..24);
+    let mut a = Coo::new(r, k);
+    for _ in 0..rng.gen_range(0..80usize) {
+        let rr = rng.gen_range(0..r as u32);
+        let cc = rng.gen_range(0..k as u32);
+        a.push(rr, cc, int_value(rng));
+    }
+    let mut b = Coo::new(k, c);
+    for _ in 0..rng.gen_range(0..80usize) {
+        let rr = rng.gen_range(0..k as u32);
+        let cc = rng.gen_range(0..c as u32);
+        b.push(rr, cc, int_value(rng));
+    }
+    (a.compress(), b.compress())
 }
 
-proptest! {
-    // The cycle simulation is comparatively slow; keep the case count sane.
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn accelerator_equals_reference_on_squares(a in int_matrix(24, 100)) {
+#[test]
+fn accelerator_equals_reference_on_squares() {
+    for seed in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = int_matrix(&mut rng, 24, 100);
         let cfg = MatRaptorConfig {
             verify_against_reference: false, // we do the comparison here
             ..MatRaptorConfig::small_test()
@@ -64,21 +69,27 @@ proptest! {
         let reference = spgemm::gustavson(&a, &a);
         // Integer-valued entries: results are exactly equal regardless of
         // accumulation order.
-        prop_assert_eq!(outcome.c, reference);
+        assert_eq!(outcome.c, reference, "seed {seed}");
     }
+}
 
-    #[test]
-    fn accelerator_equals_reference_on_rectangles((a, b) in conformable_pair()) {
-        let cfg = MatRaptorConfig {
-            verify_against_reference: false,
-            ..MatRaptorConfig::small_test()
-        };
+#[test]
+fn accelerator_equals_reference_on_rectangles() {
+    for seed in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xACCE_0001);
+        let (a, b) = conformable_pair(&mut rng);
+        let cfg =
+            MatRaptorConfig { verify_against_reference: false, ..MatRaptorConfig::small_test() };
         let outcome = Accelerator::new(cfg).run(&a, &b);
-        prop_assert_eq!(outcome.c, spgemm::gustavson(&a, &b));
+        assert_eq!(outcome.c, spgemm::gustavson(&a, &b), "seed {seed}");
     }
+}
 
-    #[test]
-    fn tiny_queues_still_correct(a in int_matrix(20, 140)) {
+#[test]
+fn tiny_queues_still_correct() {
+    for seed in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xACCE_0002);
+        let a = int_matrix(&mut rng, 20, 140);
         // Forcing the Section VII overflow path must never change results.
         let cfg = MatRaptorConfig {
             queue_bytes: 64, // 8 entries per queue
@@ -86,16 +97,24 @@ proptest! {
             ..MatRaptorConfig::small_test()
         };
         let outcome = Accelerator::new(cfg).run(&a, &a);
-        prop_assert_eq!(outcome.c, spgemm::gustavson(&a, &a));
+        assert_eq!(outcome.c, spgemm::gustavson(&a, &a), "seed {seed}");
     }
+}
 
-    #[test]
-    fn all_software_dataflows_agree(a in int_matrix(24, 120)) {
+#[test]
+fn all_software_dataflows_agree() {
+    for seed in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xACCE_0003);
+        let a = int_matrix(&mut rng, 24, 120);
         let reference = spgemm::gustavson(&a, &a);
-        prop_assert_eq!(spgemm::dense_accumulator(&a, &a), reference.clone());
-        prop_assert_eq!(spgemm::heap_merge(&a, &a), reference.clone());
-        prop_assert_eq!(spgemm::inner(&a, &a.to_csc()), reference.clone());
-        prop_assert_eq!(spgemm::outer(&a.to_csc(), &a), reference.clone());
-        prop_assert_eq!(spgemm::column_wise(&a.to_csc(), &a.to_csc()).to_csr(), reference);
+        assert_eq!(spgemm::dense_accumulator(&a, &a), reference, "seed {seed}");
+        assert_eq!(spgemm::heap_merge(&a, &a), reference, "seed {seed}");
+        assert_eq!(spgemm::inner(&a, &a.to_csc()), reference, "seed {seed}");
+        assert_eq!(spgemm::outer(&a.to_csc(), &a), reference, "seed {seed}");
+        assert_eq!(
+            spgemm::column_wise(&a.to_csc(), &a.to_csc()).to_csr(),
+            reference,
+            "seed {seed}"
+        );
     }
 }

@@ -3,7 +3,7 @@
 use matraptor::accel::{Accelerator, MatRaptorConfig};
 use matraptor::baselines::{BandwidthNorm, CpuModel, GpuModel, OuterSpaceModel, Workload};
 use matraptor::energy::EnergyModel;
-use matraptor::sparse::{gen, spgemm, C2sr, Csr};
+use matraptor::sparse::{gen, spgemm, C2sr};
 
 fn small_accel() -> Accelerator {
     Accelerator::new(MatRaptorConfig::small_test())

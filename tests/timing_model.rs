@@ -105,10 +105,7 @@ fn deterministic_simulation() {
 #[test]
 fn wider_queues_reduce_overflow() {
     let a = gen::uniform(64, 64, 1_200, 8);
-    let narrow = no_verify(MatRaptorConfig {
-        queue_bytes: 64,
-        ..MatRaptorConfig::small_test()
-    });
+    let narrow = no_verify(MatRaptorConfig { queue_bytes: 64, ..MatRaptorConfig::small_test() });
     let wide = no_verify(MatRaptorConfig::small_test());
     let o_narrow = Accelerator::new(narrow).run(&a, &a).stats.overflow_rows;
     let o_wide = Accelerator::new(wide).run(&a, &a).stats.overflow_rows;
