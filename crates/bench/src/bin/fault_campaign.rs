@@ -1,0 +1,118 @@
+//! Fault-injection campaign: survival and detection rates per fault kind.
+//!
+//! Sweeps every [`FaultKind`] across a range of seeds, runs each plan
+//! through [`Accelerator::try_run_with_faults`], and classifies the
+//! outcome: *survived* (the machine tolerated the fault and the verified
+//! output is correct), *detected* (the run terminated with a structured
+//! `SimError`), or *escaped* (the fault produced neither — a silent
+//! wrong answer or an untripped hazard). Escapes are harness bugs; with
+//! `--strict` any escape exits nonzero, which is how CI pins the fault
+//! model.
+//!
+//! Usage: `cargo run --release -p matraptor-bench --bin fault_campaign --
+//! [--scale N] [--seed N] [--seeds N] [--json] [--strict]`
+
+use matraptor_bench::print_table;
+use matraptor_core::{classify, Accelerator, FaultKind, FaultPlan, MatRaptorConfig, Verdict};
+use matraptor_sparse::gen;
+
+struct CampaignOptions {
+    /// Divisor applied to the base matrix dimension (matches the other
+    /// binaries' `--scale` semantics: bigger divisor, smaller run).
+    scale: usize,
+    /// Base generator seed for the matrices.
+    seed: u64,
+    /// Fault seeds swept per kind.
+    seeds: u64,
+    json: bool,
+    strict: bool,
+}
+
+fn parse_args() -> CampaignOptions {
+    let mut opts = CampaignOptions { scale: 64, seed: 7, seeds: 8, json: false, strict: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("{what} needs a non-negative integer"))
+        };
+        match arg.as_str() {
+            "--scale" => opts.scale = take("--scale").max(1) as usize,
+            "--seed" => opts.seed = take("--seed"),
+            "--seeds" => opts.seeds = take("--seeds").max(1),
+            "--json" => opts.json = true,
+            "--strict" => opts.strict = true,
+            other => panic!(
+                "unknown argument {other}; supported: --scale N --seed N --seeds N --json --strict"
+            ),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let n = (4096 / opts.scale).max(32);
+    let nnz = n * 8;
+    let a = gen::uniform(n, n, nnz, opts.seed);
+    let b = gen::uniform(n, n, nnz, opts.seed.wrapping_add(1));
+
+    // Small machine, short watchdog window: deadlock faults are declared
+    // in thousands rather than hundreds of thousands of cycles, and the
+    // shallow queues keep the overflow path reachable. Verification stays
+    // on — it is the detection path for silent data corruption.
+    let mut cfg = MatRaptorConfig::small_test();
+    cfg.watchdog_window = 5_000;
+    let lanes = cfg.num_lanes;
+    let accel = Accelerator::new(cfg);
+
+    println!(
+        "Fault campaign — {} kinds x {} seeds on uniform {n}x{n} ({nnz} nnz per operand)\n",
+        FaultKind::ALL.len(),
+        opts.seeds
+    );
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut escapes = 0u64;
+    for kind in FaultKind::ALL {
+        let mut survived = 0u64;
+        let mut detected = 0u64;
+        let mut escaped = 0u64;
+        for seed in 0..opts.seeds {
+            let plan = FaultPlan::sample(kind, opts.seed ^ seed, lanes);
+            let result = accel.try_run_with_faults(&a, &b, Some(&plan));
+            match classify(kind, &result) {
+                Verdict::Survived => survived += 1,
+                Verdict::Detected => detected += 1,
+                Verdict::Escaped => escaped += 1,
+            }
+        }
+        escapes += escaped;
+        let total = opts.seeds as f64;
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{survived}"),
+            format!("{detected}"),
+            format!("{escaped}"),
+            format!("{:.0}%", (survived + detected) as f64 / total * 100.0),
+        ]);
+        json_rows.push(format!(
+            "{{\"kind\":\"{}\",\"seeds\":{},\"survived\":{survived},\"detected\":{detected},\"escaped\":{escaped}}}",
+            kind.name(),
+            opts.seeds
+        ));
+    }
+    print_table(&["fault kind", "survived", "detected", "escaped", "covered"], &rows);
+    if opts.json {
+        println!("\n[{}]", json_rows.join(",\n "));
+    }
+    println!("\nsurvived = fault tolerated, output verified correct;");
+    println!("detected = structured SimError (deadlock, overflow, corruption, ...);");
+    println!("escaped  = neither - a hole in the fault model.");
+    if opts.strict && escapes > 0 {
+        eprintln!("STRICT: {escapes} undetected escape(s)");
+        std::process::exit(1);
+    }
+}

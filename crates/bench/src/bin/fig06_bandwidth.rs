@@ -32,9 +32,11 @@ fn main() {
     let mut json_rows = Vec::new();
     for (i, n) in [2usize, 4, 8].into_iter().enumerate() {
         let cfg = HbmConfig::with_channels(n);
-        let csr = patterns::measure_bandwidth(&cfg, &patterns::csr_streams(&row_bytes, n, 8), 64);
+        let csr = patterns::measure_bandwidth(&cfg, &patterns::csr_streams(&row_bytes, n, 8), 64)
+            .expect("CSR drain");
         let c2sr =
-            patterns::measure_bandwidth(&cfg, &patterns::c2sr_streams(&cfg, &row_bytes, n, 64), 64);
+            patterns::measure_bandwidth(&cfg, &patterns::c2sr_streams(&cfg, &row_bytes, n, 64), 64)
+                .expect("C2SR drain");
         rows.push(vec![
             n.to_string(),
             format!("{:.1}", csr.achieved_gbs),

@@ -4,10 +4,15 @@ use std::collections::{BTreeMap, VecDeque};
 
 use matraptor_mem::Hbm;
 use matraptor_sim::stats::CycleBreakdown;
-use matraptor_sim::Cycle;
+use matraptor_sim::watchdog::mix_signature;
+use matraptor_sim::{Cycle, Watchdog, WatchdogReport};
 use matraptor_sparse::{spgemm, C2sr, Csr};
 
 use crate::config::MatRaptorConfig;
+use crate::error::{
+    ChannelDiagnostic, ConfigError, DeadlockDiagnostic, LaneDiagnostic, MalformedInput, SimError,
+};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::layout::{matrix_layout, Regions};
 use crate::pe::Pe;
 use crate::port::MemPort;
@@ -57,6 +62,53 @@ struct Lane {
     pe_in: VecDeque<PeTok>,
 }
 
+/// A stream fault in flight: watches A tokens crossing the SpAL → SpBL
+/// coupling FIFO of one lane and truncates or corrupts the `target`-th
+/// *entry* token (empty-row markers don't count — dropping one would be
+/// undetectable by construction).
+struct StreamInjector {
+    lane: usize,
+    target: u64,
+    seen: u64,
+    truncate: bool,
+    /// Column id to corrupt to (out of B's row range) when not truncating.
+    corrupt_to: u32,
+}
+
+impl StreamInjector {
+    /// Inspects a lane's coupling FIFO right after its SpAL tick, which
+    /// pushes at most one token per cycle, so only the back can be new.
+    fn inspect(&mut self, lane: usize, grew: bool, out: &mut VecDeque<ATok>) {
+        if lane != self.lane || !grew {
+            return;
+        }
+        if !matches!(out.back(), Some(ATok::Entry { .. })) {
+            return;
+        }
+        if self.seen == self.target {
+            if self.truncate {
+                out.pop_back();
+            } else if let Some(ATok::Entry { col, .. }) = out.back_mut() {
+                *col = self.corrupt_to;
+            }
+        }
+        self.seen += 1;
+    }
+}
+
+/// Display names for watchdog lane sources (`&'static str` registry; lanes
+/// beyond the table share the last name, which loses nothing — the
+/// diagnostic carries real lane indices).
+const LANE_NAMES: [&str; 16] = [
+    "lane0", "lane1", "lane2", "lane3", "lane4", "lane5", "lane6", "lane7", "lane8", "lane9",
+    "lane10", "lane11", "lane12", "lane13", "lane14", "lane15",
+];
+
+/// Cycle stride between watchdog observations: sampling every cycle would
+/// put two small allocations on the hottest loop; every 64th cycle bounds
+/// detection latency at `window + 64` while keeping the overhead noise.
+const WATCHDOG_STRIDE: u64 = 64;
+
 impl Accelerator {
     /// Creates an accelerator with the given configuration.
     ///
@@ -69,6 +121,17 @@ impl Accelerator {
         Accelerator { cfg }
     }
 
+    /// Fallible constructor: rejects an invalid configuration with a
+    /// structured [`ConfigError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// The first constraint [`MatRaptorConfig::try_validate`] reports.
+    pub fn try_new(cfg: MatRaptorConfig) -> Result<Self, ConfigError> {
+        cfg.try_validate()?;
+        Ok(Accelerator { cfg })
+    }
+
     /// The configuration.
     pub fn config(&self) -> &MatRaptorConfig {
         &self.cfg
@@ -76,26 +139,63 @@ impl Accelerator {
 
     /// Runs the SpGEMM `a * b` through the simulated hardware.
     ///
-    /// Inputs arrive in CSR and are laid out in C²SR exactly as the
-    /// driver software would (the conversion cost is *not* charged here;
-    /// the `fmt_conversion` experiment measures it separately, per
-    /// Section VII).
+    /// Thin panicking wrapper over [`Accelerator::try_run`] for call sites
+    /// that treat any failure as fatal (benches, examples, tests of the
+    /// happy path).
     ///
     /// # Panics
     ///
-    /// Panics if the inner dimensions disagree, if the simulation fails to
-    /// drain (a model bug), or — when `verify_against_reference` is set —
-    /// if the output mismatches the software Gustavson product.
+    /// Panics with the [`SimError`] message if the run fails: inner
+    /// dimensions disagree, the watchdog declares a deadlock, the cycle
+    /// budget trips, or — when `verify_against_reference` is set — the
+    /// output mismatches the software Gustavson product.
     pub fn run(&self, a: &Csr<f64>, b: &Csr<f64>) -> RunOutcome {
-        assert_eq!(
-            a.cols(),
-            b.rows(),
-            "inner dimensions must agree: {}x{} * {}x{}",
-            a.rows(),
-            a.cols(),
-            b.rows(),
-            b.cols()
-        );
+        match self.try_run(a, b) {
+            Ok(outcome) => outcome,
+            // conformance:allow(panic-safety): deliberate fail-fast wrapper; fallible callers use try_run
+            Err(e) => panic!("accelerator run failed: {e}"),
+        }
+    }
+
+    /// Runs the SpGEMM `a * b` through the simulated hardware, reporting
+    /// failures as structured [`SimError`]s.
+    ///
+    /// Inputs arrive in CSR and are laid out in C²SR exactly as the
+    /// driver software would (the conversion cost is *not* charged here;
+    /// the `fmt_conversion` experiment measures it separately, per
+    /// Section VII). With no fault injected this is bit-identical to the
+    /// historical panicking `run`: same cycle counts, same C values.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MalformedInput`] for bad operands,
+    /// [`SimError::Deadlock`] when the forward-progress watchdog fires,
+    /// [`SimError::CycleBudgetExceeded`] if the budget backstop trips,
+    /// [`SimError::QueueOverflow`] for unrecoverable overflows, and
+    /// [`SimError::OutputCorrupted`] when an integrity check fails.
+    pub fn try_run(&self, a: &Csr<f64>, b: &Csr<f64>) -> Result<RunOutcome, SimError> {
+        self.try_run_with_faults(a, b, None)
+    }
+
+    /// [`Accelerator::try_run`] with an optional injected fault — the
+    /// entry point fault campaigns drive.
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::try_run`]; which variant depends on the fault
+    /// (see [`FaultKind`]).
+    pub fn try_run_with_faults(
+        &self,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        plan: Option<&FaultPlan>,
+    ) -> Result<RunOutcome, SimError> {
+        if a.cols() != b.rows() {
+            return Err(SimError::MalformedInput(MalformedInput::InnerDimensionMismatch {
+                a_cols: a.cols(),
+                b_rows: b.rows(),
+            }));
+        }
         let cfg = &self.cfg;
         let lanes_n = cfg.num_lanes;
         let ac = C2sr::from_csr(a, lanes_n);
@@ -118,6 +218,54 @@ impl Accelerator {
                 pe_in: VecDeque::new(),
             })
             .collect();
+
+        // Arm the injected fault, if any. Lane-targeted faults are
+        // remapped to a lane that actually has work so a sampled site on
+        // an empty lane cannot silently skip the injection.
+        let mut stream_fault: Option<StreamInjector> = None;
+        if let Some(plan) = plan {
+            hbm.set_faults(plan.mem_faults());
+            let site = {
+                let preferred = plan.site % lanes_n;
+                if ac.channel_nnz(preferred) > 0 {
+                    preferred
+                } else {
+                    (0..lanes_n).find(|&l| ac.channel_nnz(l) > 0).unwrap_or(preferred)
+                }
+            };
+            match plan.kind {
+                FaultKind::StreamTruncation | FaultKind::StreamCorruption => {
+                    let tokens = ac.channel_nnz(site) as u64;
+                    if tokens > 0 {
+                        stream_fault = Some(StreamInjector {
+                            lane: site,
+                            target: plan.ordinal % tokens,
+                            seen: 0,
+                            truncate: plan.kind == FaultKind::StreamTruncation,
+                            corrupt_to: (bc.rows() as u32)
+                                .saturating_add(1 + (plan.ordinal % 97) as u32),
+                        });
+                    }
+                }
+                FaultKind::QueueOverflowForce => {
+                    lanes[site].pe.fault_force_overflow_after = Some(plan.ordinal % 32);
+                    lanes[site].pe.cpu_fallback = false;
+                }
+                FaultKind::DroppedWrite => {
+                    lanes[site].writer.fault_drop_append = Some(plan.ordinal % 64);
+                }
+                FaultKind::ChannelStall | FaultKind::BurstRefusal => {}
+            }
+        }
+
+        // The forward-progress watchdog: every lane and the HBM register
+        // as sources; the run aborts with a structured diagnostic if none
+        // of them moves for a full window.
+        let mut watchdog = Watchdog::new(cfg.watchdog_window);
+        let lane_sources: Vec<_> = (0..lanes_n)
+            .map(|l| watchdog.add_source(LANE_NAMES[l.min(LANE_NAMES.len() - 1)]))
+            .collect();
+        let hbm_source = watchdog.add_source("hbm");
 
         let fallback = |row: u32| reference_row(a, b, row as usize);
 
@@ -184,6 +332,7 @@ impl Accelerator {
                     &mut lane.pe_in,
                     cfg.coupling_fifo_depth,
                 );
+                let fifo_len_before = lane.spal_out.len();
                 lane.spal.tick(
                     &mut port,
                     cfg,
@@ -192,7 +341,21 @@ impl Accelerator {
                     &mut lane.spal_out,
                     cfg.coupling_fifo_depth,
                 );
+                if let Some(inj) = stream_fault.as_mut() {
+                    inj.inspect(l, lane.spal_out.len() > fifo_len_before, &mut lane.spal_out);
+                }
                 lane.writer.tick(&mut port);
+
+                if let Some((col, bound)) = lane.spbl.malformed_input() {
+                    return Err(SimError::MalformedInput(MalformedInput::ColumnOutOfRange {
+                        lane: l,
+                        col,
+                        bound,
+                    }));
+                }
+                if let Some(row) = lane.pe.fatal_overflow {
+                    return Err(SimError::QueueOverflow { lane: l, row });
+                }
 
                 let lane_done = lane.spal.is_done()
                     && lane.spbl.is_done()
@@ -230,8 +393,39 @@ impl Accelerator {
             if all_done && hbm.is_idle() && inboxes.iter().all(Vec::is_empty) {
                 break;
             }
+
+            if watchdog.window() > 0 && t.is_multiple_of(WATCHDOG_STRIDE) {
+                for (l, lane) in lanes.iter().enumerate() {
+                    let mut sig = mix_signature(0, lane.spal.progress_signature());
+                    sig = mix_signature(sig, lane.spbl.progress_signature());
+                    sig = mix_signature(sig, lane.pe.progress_signature());
+                    sig = mix_signature(sig, lane.writer.progress_signature());
+                    sig = mix_signature(sig, lane.spal_out.len() as u64);
+                    sig = mix_signature(sig, lane.pe_in.len() as u64);
+                    watchdog.observe(lane_sources[l], Cycle(t), sig);
+                }
+                // The HBM's signature must only move when it *services*
+                // something: queue depths, in-flight count, and per-channel
+                // busy counters. Fault counters are deliberately excluded —
+                // a stalled channel accumulating stall ticks is not
+                // progress.
+                let mut sig = mix_signature(0, hbm.in_flight() as u64);
+                for depth in hbm.queue_depths() {
+                    sig = mix_signature(sig, depth as u64);
+                }
+                for ch in hbm.channel_stats() {
+                    sig = mix_signature(sig, ch.busy_cycles.get());
+                }
+                watchdog.observe(hbm_source, Cycle(t), sig);
+                if let Some(report) = watchdog.check(Cycle(t)) {
+                    return Err(SimError::Deadlock(deadlock_diagnostic(&report, &lanes, &hbm)));
+                }
+            }
+
             t += 1;
-            assert!(t < budget, "accelerator simulation did not drain within budget");
+            if t >= budget {
+                return Err(SimError::CycleBudgetExceeded { budget, cycles: t });
+            }
         }
 
         // Assemble the functional output in C²SR, per-lane row order.
@@ -243,16 +437,18 @@ impl Accelerator {
                 c2sr.append_row(row.row as usize, &row.cols, &row.vals);
             }
         }
-        // conformance:allow(panic-safety): invariant check on the model's own output; a failure here is a simulator bug
-        c2sr.validate().expect("accelerator output violates C2SR invariants");
+        if c2sr.validate().is_err() {
+            return Err(SimError::OutputCorrupted { detail: "output violates C2SR invariants" });
+        }
         let c = c2sr.to_csr();
 
         if cfg.verify_against_reference {
             let reference = spgemm::gustavson(a, b);
-            assert!(
-                c.approx_eq(&reference, 1e-6),
-                "accelerator output diverges from the Gustavson reference"
-            );
+            if !c.approx_eq(&reference, 1e-6) {
+                return Err(SimError::OutputCorrupted {
+                    detail: "output diverges from the Gustavson reference",
+                });
+            }
         }
 
         // Aggregate statistics.
@@ -278,7 +474,7 @@ impl Accelerator {
         let mem_stats = hbm.stats();
         let per_pe_nnz = (0..lanes_n).map(|l| ac.channel_nnz(l) as u64).collect();
 
-        RunOutcome {
+        Ok(RunOutcome {
             c,
             c2sr,
             stats: MatRaptorStats {
@@ -298,7 +494,49 @@ impl Accelerator {
                 phase1_cycles: phase1,
                 phase2_cycles: phase2,
             },
-        }
+        })
+    }
+}
+
+/// Builds the structured deadlock payload from the watchdog's report plus
+/// the machine state at the moment the wedge was declared.
+fn deadlock_diagnostic(report: &WatchdogReport, lanes: &[Lane], hbm: &Hbm) -> DeadlockDiagnostic {
+    let lane_diags = lanes
+        .iter()
+        .enumerate()
+        .map(|(l, lane)| {
+            let (spal_in_flight, spal_staging, spal_rows_remaining) = lane.spal.occupancy();
+            let (spbl_jobs, spbl_in_flight, spbl_staging) = lane.spbl.occupancy();
+            let (writer_queued, writer_pending) = lane.writer.occupancy();
+            LaneDiagnostic {
+                lane: l,
+                last_progress: report.sources.get(l).map_or(0, |s| s.last_progress.as_u64()),
+                spal_in_flight,
+                spal_staging,
+                spal_rows_remaining,
+                spbl_jobs,
+                spbl_in_flight,
+                spbl_staging,
+                coupling_a_tokens: lane.spal_out.len(),
+                coupling_products: lane.pe_in.len(),
+                pe_active: lane.pe.is_active(),
+                writer_queued,
+                writer_pending,
+            }
+        })
+        .collect();
+    let channels = hbm
+        .queue_depths()
+        .into_iter()
+        .enumerate()
+        .map(|(channel, queue_depth)| ChannelDiagnostic { channel, queue_depth })
+        .collect();
+    DeadlockDiagnostic {
+        declared_at: report.declared_at.as_u64(),
+        window: report.window,
+        last_progress: report.last_progress.as_u64(),
+        lanes: lane_diags,
+        channels,
     }
 }
 

@@ -2,6 +2,8 @@
 
 use matraptor_mem::HbmConfig;
 
+use crate::error::ConfigError;
+
 /// Parameters of the MatRaptor accelerator.
 ///
 /// Defaults reproduce the evaluated configuration of Section V: a systolic
@@ -53,6 +55,14 @@ pub struct MatRaptorConfig {
     /// the software Gustavson reference and panics on mismatch. Cheap
     /// relative to simulation; disable only for very large sweeps.
     pub verify_against_reference: bool,
+    /// Forward-progress watchdog window in accelerator cycles: if no
+    /// pipeline component moves a token for this many cycles the run
+    /// terminates with `SimError::Deadlock` and a per-lane diagnostic.
+    /// `0` disables the watchdog (the cycle budget then remains the only
+    /// backstop). The default is far above any legitimate stall — the
+    /// longest real memory round-trip is tens of cycles — so a fault-free
+    /// run can never trip it.
+    pub watchdog_window: u64,
 }
 
 impl Default for MatRaptorConfig {
@@ -69,6 +79,7 @@ impl Default for MatRaptorConfig {
             mem: HbmConfig::default(),
             double_buffering: true,
             verify_against_reference: true,
+            watchdog_window: 100_000,
         }
     }
 }
@@ -113,27 +124,92 @@ impl MatRaptorConfig {
         rounded as u64
     }
 
+    /// Validates the configuration, reporting the first violated
+    /// constraint as a structured [`ConfigError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// The first structural constraint violated (zero lanes, fewer than 3
+    /// queues, queue smaller than one entry, lane count not equal to the
+    /// channel count — the configuration the paper evaluates and this
+    /// model supports, non-integer clock ratio, invalid HBM parameters).
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.num_lanes == 0 {
+            return Err(ConfigError::NoLanes);
+        }
+        if self.queues_per_pe <= 2 {
+            return Err(ConfigError::TooFewQueues { queues: self.queues_per_pe });
+        }
+        if self.entry_bytes == 0 {
+            return Err(ConfigError::ZeroEntryBytes);
+        }
+        if self.queue_capacity_entries() == 0 {
+            return Err(ConfigError::QueueTooSmall {
+                queue_bytes: self.queue_bytes,
+                entry_bytes: self.entry_bytes,
+            });
+        }
+        if self.outstanding_requests == 0 {
+            return Err(ConfigError::ZeroOutstandingRequests);
+        }
+        if self.coupling_fifo_depth == 0 {
+            return Err(ConfigError::ZeroCouplingFifo);
+        }
+        if self.num_lanes != self.mem.num_channels {
+            return Err(ConfigError::LaneChannelMismatch {
+                lanes: self.num_lanes,
+                channels: self.mem.num_channels,
+            });
+        }
+        let ratio = self.clock_ghz / self.mem.clock_ghz;
+        if !(ratio.round() >= 1.0 && (ratio - ratio.round()).abs() < 1e-9) {
+            return Err(ConfigError::NonIntegerClockRatio { ratio });
+        }
+        self.try_validate_mem()
+    }
+
+    /// Mirrors [`HbmConfig::validate`]'s assertions as `Result`s so a bad
+    /// memory sub-configuration reports instead of panicking.
+    fn try_validate_mem(&self) -> Result<(), ConfigError> {
+        let m = &self.mem;
+        let detail = if m.num_channels == 0 {
+            "need at least one channel"
+        } else if m.channel_width_bytes == 0 {
+            "zero channel width"
+        } else if m.clock_ghz <= 0.0 {
+            "zero clock"
+        } else if m.burst_bytes == 0 {
+            "zero burst"
+        } else if m.queue_depth == 0 {
+            "zero queue depth"
+        } else if m.interleave_bytes < m.burst_bytes {
+            "interleave must be at least one burst"
+        } else if m.row_bytes < m.burst_bytes as u64 {
+            "row smaller than burst"
+        } else if m.banks_per_channel == 0 {
+            "need at least one bank"
+        } else if m.banks_per_channel > 64 {
+            "bank bitset supports at most 64 banks"
+        } else {
+            return Ok(());
+        };
+        Err(ConfigError::InvalidMemConfig { detail })
+    }
+
     /// Validates the configuration.
+    ///
+    /// Thin panicking wrapper over [`MatRaptorConfig::try_validate`] for
+    /// call sites (tests, examples) that want the fail-fast behaviour.
     ///
     /// # Panics
     ///
-    /// Panics if any structural constraint is violated (zero lanes, fewer
-    /// than 3 queues, queue smaller than one entry, lane count not equal
-    /// to the channel count — the configuration the paper evaluates and
-    /// this model supports).
+    /// Panics with the [`ConfigError`] message if any constraint is
+    /// violated.
     pub fn validate(&self) {
-        assert!(self.num_lanes > 0, "need at least one lane");
-        assert!(self.queues_per_pe > 2, "need Q > 2 sorting queues (Q-1 primaries + helper)");
-        assert!(self.queue_capacity_entries() > 0, "queue smaller than one entry");
-        assert!(self.entry_bytes > 0, "zero entry size");
-        assert!(self.outstanding_requests > 0, "zero outstanding requests");
-        assert!(self.coupling_fifo_depth > 0, "zero coupling FIFO depth");
-        assert_eq!(
-            self.num_lanes, self.mem.num_channels,
-            "the evaluated design binds each lane to one HBM channel"
-        );
-        let _ = self.mem_clock_ratio();
-        self.mem.validate();
+        if let Err(e) = self.try_validate() {
+            // conformance:allow(panic-safety): deliberate fail-fast wrapper; fallible callers use try_validate
+            panic!("{e}");
+        }
     }
 }
 
@@ -175,5 +251,37 @@ mod tests {
     #[test]
     fn small_test_config_is_valid() {
         MatRaptorConfig::small_test().validate();
+    }
+
+    #[test]
+    fn try_validate_reports_structured_errors() {
+        assert_eq!(MatRaptorConfig::default().try_validate(), Ok(()));
+        let cfg = MatRaptorConfig { num_lanes: 0, ..MatRaptorConfig::default() };
+        assert_eq!(cfg.try_validate(), Err(ConfigError::NoLanes));
+        let cfg = MatRaptorConfig { num_lanes: 4, ..MatRaptorConfig::default() };
+        assert_eq!(
+            cfg.try_validate(),
+            Err(ConfigError::LaneChannelMismatch { lanes: 4, channels: 8 })
+        );
+        let cfg = MatRaptorConfig { queue_bytes: 4, ..MatRaptorConfig::default() };
+        assert_eq!(
+            cfg.try_validate(),
+            Err(ConfigError::QueueTooSmall { queue_bytes: 4, entry_bytes: 8 })
+        );
+        let cfg = MatRaptorConfig { clock_ghz: 1.5, ..MatRaptorConfig::default() };
+        assert!(matches!(cfg.try_validate(), Err(ConfigError::NonIntegerClockRatio { .. })));
+    }
+
+    #[test]
+    fn bad_mem_subconfig_is_reported_not_panicked() {
+        let mut cfg = MatRaptorConfig::small_test();
+        cfg.mem.burst_bytes = 0;
+        assert_eq!(cfg.try_validate(), Err(ConfigError::InvalidMemConfig { detail: "zero burst" }));
+    }
+
+    #[test]
+    fn watchdog_window_defaults_on() {
+        assert!(MatRaptorConfig::default().watchdog_window > 0);
+        assert!(MatRaptorConfig::small_test().watchdog_window > 0);
     }
 }

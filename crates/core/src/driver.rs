@@ -8,9 +8,12 @@
 //! interface so driver-level software (and tests) can exercise the same
 //! programming sequence the paper's gem5 + gcc toolchain used.
 
-use matraptor_sparse::Csr;
+use matraptor_mem::HbmConfig;
+use matraptor_sparse::{Csr, SparseError};
 
 use crate::accel::{Accelerator, RunOutcome};
+use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::layout::Regions;
 
 /// Accelerator configuration-register file, as the host sees it.
@@ -105,7 +108,8 @@ pub struct Driver<'a> {
     regs: ConfigRegisters,
 }
 
-/// Errors the driver reports before touching the accelerator.
+/// Errors the driver reports, either before touching the accelerator or
+/// when the accelerator itself terminates a run abnormally.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum DriverError {
@@ -120,6 +124,13 @@ pub enum DriverError {
         /// Actual matrix dimension.
         actual: u64,
     },
+    /// An input matrix failed structural validation (non-monotone
+    /// pointers, out-of-range column ids, non-finite values) before the
+    /// accelerator was started.
+    InvalidInput(SparseError),
+    /// The accelerator declared a fault mid-run and terminated with a
+    /// structured diagnostic instead of an output.
+    AcceleratorFault(SimError),
 }
 
 impl std::fmt::Display for DriverError {
@@ -130,11 +141,27 @@ impl std::fmt::Display for DriverError {
                 f,
                 "register {register} programmed with {programmed} but the matrix has {actual}"
             ),
+            DriverError::InvalidInput(e) => write!(f, "input matrix rejected: {e}"),
+            DriverError::AcceleratorFault(e) => write!(f, "accelerator fault: {e}"),
         }
     }
 }
 
 impl std::error::Error for DriverError {}
+
+/// What [`Driver::launch_with_recovery`] did to finish a run: how many
+/// attempts it took, whether the final attempt ran in the degraded
+/// single-lane configuration, and the fault each failed attempt hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Attempts made, including the one that succeeded (1 = clean run).
+    pub attempts: u32,
+    /// Whether the successful attempt used the degraded single-lane,
+    /// single-channel fallback configuration.
+    pub degraded: bool,
+    /// The fault returned by each failed attempt, in order.
+    pub faults: Vec<SimError>,
+}
 
 impl<'a> Driver<'a> {
     /// Creates a driver for an accelerator, with registers at their
@@ -171,8 +198,77 @@ impl<'a> Driver<'a> {
     /// [`DriverError::NotStarted`] if `x0` was not set;
     /// [`DriverError::DimensionMismatch`] if the programmed dimension
     /// registers disagree with the actual matrices — the kind of driver
-    /// bug this layer exists to catch.
+    /// bug this layer exists to catch;
+    /// [`DriverError::InvalidInput`] if either matrix fails structural
+    /// validation; [`DriverError::AcceleratorFault`] if the accelerator
+    /// terminates the run abnormally (deadlock, queue overflow, corrupted
+    /// output, ...).
     pub fn launch(&mut self, a: &Csr<f64>, b: &Csr<f64>) -> Result<RunOutcome, DriverError> {
+        self.preflight(a, b)?;
+        let outcome = self.accel.try_run(a, b).map_err(DriverError::AcceleratorFault)?;
+        // Completion: hardware clears the start bit.
+        self.regs.x0 = 0;
+        Ok(outcome)
+    }
+
+    /// [`Driver::launch`] with graceful degradation: if the first attempt
+    /// faults with something retryable, the driver reconfigures a
+    /// degraded single-lane, single-channel accelerator and retries once —
+    /// the transient-fault recovery story a real host driver would ship.
+    ///
+    /// `plan` injects a fault into the *first* attempt only (a transient
+    /// fault); the retry runs clean hardware.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Driver::launch`] reports; an [`AcceleratorFault`]
+    /// means the retry chain was exhausted, and its payload is the *last*
+    /// attempt's fault ([`RecoveryReport`] is not returned on failure —
+    /// the earlier faults are the caller's to replay via the plan).
+    ///
+    /// [`AcceleratorFault`]: DriverError::AcceleratorFault
+    pub fn launch_with_recovery(
+        &mut self,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        plan: Option<&FaultPlan>,
+    ) -> Result<(RunOutcome, RecoveryReport), DriverError> {
+        self.preflight(a, b)?;
+        let mut faults = Vec::new();
+        match self.accel.try_run_with_faults(a, b, plan) {
+            Ok(outcome) => {
+                self.regs.x0 = 0;
+                return Ok((outcome, RecoveryReport { attempts: 1, degraded: false, faults }));
+            }
+            // Malformed input will fail identically on any configuration;
+            // retrying would just burn cycles.
+            Err(e @ SimError::MalformedInput(_)) => return Err(DriverError::AcceleratorFault(e)),
+            Err(e) => faults.push(e),
+        }
+        // Reconfigure: one lane on one channel sidesteps cross-channel
+        // conflicts and multi-lane coupling — the most conservative
+        // machine that can still finish the job.
+        let mut degraded_cfg = self.accel.config().clone();
+        degraded_cfg.num_lanes = 1;
+        degraded_cfg.mem = HbmConfig { num_channels: 1, ..degraded_cfg.mem };
+        let degraded = match Accelerator::try_new(degraded_cfg) {
+            Ok(acc) => acc,
+            // The degraded shape is invalid for this config family; give
+            // up with the original fault.
+            Err(_) => return Err(DriverError::AcceleratorFault(faults.remove(0))),
+        };
+        match degraded.try_run(a, b) {
+            Ok(outcome) => {
+                self.regs.x0 = 0;
+                Ok((outcome, RecoveryReport { attempts: 2, degraded: true, faults }))
+            }
+            Err(e) => Err(DriverError::AcceleratorFault(e)),
+        }
+    }
+
+    /// Shared launch checks: start bit, dimension registers, input
+    /// structure.
+    fn preflight(&self, a: &Csr<f64>, b: &Csr<f64>) -> Result<(), DriverError> {
         if self.regs.x0 != 1 {
             return Err(DriverError::NotStarted);
         }
@@ -190,10 +286,9 @@ impl<'a> Driver<'a> {
                 actual: b.rows() as u64,
             });
         }
-        let outcome = self.accel.run(a, b);
-        // Completion: hardware clears the start bit.
-        self.regs.x0 = 0;
-        Ok(outcome)
+        a.validate().map_err(DriverError::InvalidInput)?;
+        b.validate().map_err(DriverError::InvalidInput)?;
+        Ok(())
     }
 }
 
@@ -230,6 +325,58 @@ mod tests {
             d.launch(&a, &a),
             Err(DriverError::DimensionMismatch { register: "a_rows", .. })
         ));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_before_launch() {
+        let a = gen::uniform(16, 16, 60, 3);
+        let (rows, cols, ptr, idx, mut vals) =
+            (a.rows(), a.cols(), a.row_ptr().to_vec(), a.col_idx().to_vec(), a.values().to_vec());
+        vals[0] = f64::NAN;
+        // Structure is intact, so `from_parts` accepts it; only the
+        // value-level `validate` in the driver preflight catches the NaN.
+        let bad = Csr::from_parts(rows, cols, ptr, idx, vals).expect("structurally valid");
+        let accel = Accelerator::new(MatRaptorConfig::small_test());
+        let mut d = Driver::new(&accel);
+        d.mtx(MtxWrite::ARows(16));
+        d.mtx(MtxWrite::BRows(16));
+        d.mtx(MtxWrite::X0(1));
+        assert!(matches!(d.launch(&bad, &a), Err(DriverError::InvalidInput(_))));
+        // The start bit stays set: the accelerator never ran.
+        assert_eq!(d.registers().x0, 1);
+    }
+
+    #[test]
+    fn recovery_retries_a_deadlocked_run_in_single_lane_mode() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let a = gen::uniform(32, 32, 200, 5);
+        let mut cfg = MatRaptorConfig::small_test();
+        cfg.watchdog_window = 2_000;
+        let accel = Accelerator::new(cfg);
+        let mut d = Driver::new(&accel);
+        d.mtx(MtxWrite::ARows(32));
+        d.mtx(MtxWrite::BRows(32));
+        d.mtx(MtxWrite::X0(1));
+        let plan = FaultPlan::sample(FaultKind::ChannelStall, 7, accel.config().num_lanes);
+        let (outcome, report) = d.launch_with_recovery(&a, &a, Some(&plan)).expect("recovered");
+        assert_eq!(report.attempts, 2);
+        assert!(report.degraded);
+        assert!(matches!(report.faults[0], SimError::Deadlock(_)));
+        assert!(outcome.c.approx_eq(&spgemm::gustavson(&a, &a), 1e-9));
+        assert_eq!(d.registers().x0, 0);
+    }
+
+    #[test]
+    fn recovery_on_a_clean_run_is_a_single_attempt() {
+        let a = gen::uniform(24, 24, 120, 2);
+        let accel = Accelerator::new(MatRaptorConfig::small_test());
+        let mut d = Driver::new(&accel);
+        d.mtx(MtxWrite::ARows(24));
+        d.mtx(MtxWrite::BRows(24));
+        d.mtx(MtxWrite::X0(1));
+        let (outcome, report) = d.launch_with_recovery(&a, &a, None).expect("clean");
+        assert_eq!(report, RecoveryReport { attempts: 1, degraded: false, faults: vec![] });
+        assert!(outcome.c.approx_eq(&spgemm::gustavson(&a, &a), 1e-9));
     }
 
     #[test]

@@ -24,7 +24,23 @@
 //! busy/merge/memory cycle breakdown (Fig. 9), memory traffic, and
 //! achieved throughput (Fig. 7).
 //!
+//! # Robustness
+//!
+//! Beyond the happy path, the crate models *faulty* runs:
+//!
+//! * [`Accelerator::try_run`] is the fallible end-to-end entry point — it
+//!   returns [`SimError`] instead of panicking or hanging, with a
+//!   structured [`DeadlockDiagnostic`] when the watchdog declares a wedge;
+//! * [`FaultPlan`] describes a deterministic, seeded fault injection
+//!   (channel stalls, corrupted or truncated C²SR streams, forced
+//!   sorting-queue overflow, dropped writer appends) compiled onto the
+//!   machine by [`Accelerator::try_run_with_faults`];
+//! * [`classify`] maps a faulty run's result to a campaign [`Verdict`]
+//!   (survived / detected / escaped).
+//!
 //! [`Hbm`]: matraptor_mem::Hbm
+//! [`Accelerator::try_run`]: accel::Accelerator::try_run
+//! [`Accelerator::try_run_with_faults`]: accel::Accelerator::try_run_with_faults
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -33,6 +49,8 @@ mod accel;
 mod config;
 mod convert;
 mod driver;
+mod error;
+mod fault;
 mod layout;
 mod pe;
 mod port;
@@ -48,7 +66,11 @@ pub use config::MatRaptorConfig;
 pub use convert::{
     conversion_cycles, conversion_cycles_directed, ConversionDirection, ConversionReport,
 };
-pub use driver::{ConfigRegisters, Driver, DriverError, MtxWrite};
+pub use driver::{ConfigRegisters, Driver, DriverError, MtxWrite, RecoveryReport};
+pub use error::{
+    ChannelDiagnostic, ConfigError, DeadlockDiagnostic, LaneDiagnostic, MalformedInput, SimError,
+};
+pub use fault::{classify, FaultKind, FaultPlan, Verdict};
 pub use pe::Pe;
 pub use spal::SpAl;
 pub use spbl::SpBl;

@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use matraptor_sim::stats::{Counter, CycleBreakdown};
+use matraptor_sim::watchdog::mix_signature;
 
 use crate::config::MatRaptorConfig;
 use crate::layout::MatrixLayout;
@@ -51,6 +52,16 @@ pub struct Pe {
     /// Cycles spent in each phase (the paper reports their ratio ∈ [2,15]).
     pub(crate) phase1_cycles: Counter,
     pub(crate) phase2_cycles: Counter,
+    /// Fault injection: force a queue overflow once the multiply count
+    /// reaches this threshold mid-row. One-shot; cleared after firing.
+    pub(crate) fault_force_overflow_after: Option<u64>,
+    /// Whether overflowed rows may be delegated to the CPU (the paper's
+    /// Section VII path). Fault campaigns disable it to prove the
+    /// overflow is reported rather than silently dropped.
+    pub(crate) cpu_fallback: bool,
+    /// Set when a row overflowed while `cpu_fallback` was disabled; the
+    /// accelerator polls this and aborts with `SimError::QueueOverflow`.
+    pub(crate) fatal_overflow: Option<u32>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +87,9 @@ impl Pe {
             overflow_rows: Vec::new(),
             phase1_cycles: Counter::default(),
             phase2_cycles: Counter::default(),
+            fault_force_overflow_after: None,
+            cpu_fallback: true,
+            fatal_overflow: None,
         }
     }
 
@@ -141,6 +155,16 @@ impl Pe {
         if !self.double_buffering && self.phase2.is_some() {
             return CycleClass::MergeStall;
         }
+        // Fault injection: pretend the active queue just filled. Only
+        // mid-vector (the states in which a real overflow can occur), and
+        // one-shot so a campaign injects exactly one overflow.
+        if let Some(after) = self.fault_force_overflow_after {
+            if self.vec_mode.is_some() && !self.skipping && self.multiplies.get() >= after {
+                self.fault_force_overflow_after = None;
+                self.begin_overflow();
+                return CycleClass::MergeStall;
+            }
+        }
         // Overflow-skip mode: discard the rest of the row.
         if self.skipping {
             return match input.pop_front() {
@@ -154,6 +178,14 @@ impl Pe {
                     // The previous row may still be draining through Phase
                     // II; recording now would write rows out of order.
                     if self.phase2.is_some() {
+                        input.push_front(PeTok::EndOfRow { row });
+                        return CycleClass::MergeStall;
+                    }
+                    if !self.cpu_fallback {
+                        // No CPU to delegate to: the row is unrecoverable.
+                        // Park the marker and raise the fatal flag for the
+                        // accelerator to convert into a structured error.
+                        self.fatal_overflow = Some(row);
                         input.push_front(PeTok::EndOfRow { row });
                         return CycleClass::MergeStall;
                     }
@@ -330,5 +362,36 @@ impl Pe {
     /// The busy/stall cycle breakdown accumulated so far (Fig. 9).
     pub fn breakdown(&self) -> CycleBreakdown {
         self.breakdown
+    }
+
+    /// Whether the PE holds any in-progress state (for deadlock
+    /// diagnostics).
+    pub(crate) fn is_active(&self) -> bool {
+        self.vec_mode.is_some() || self.phase2.is_some() || self.skipping
+    }
+
+    /// Forward-progress signature for the watchdog. Folds work counters
+    /// and queue occupancies; deliberately **excludes** `phase1_cycles`
+    /// and the stall counters, which keep advancing while the PE waits
+    /// and would therefore hide a wedge forever.
+    pub(crate) fn progress_signature(&self) -> u64 {
+        let mut sig = mix_signature(0, self.multiplies.get());
+        sig = mix_signature(sig, self.additions.get());
+        sig = mix_signature(sig, self.products_in_row);
+        sig = mix_signature(sig, self.fill as u64);
+        sig = mix_signature(sig, u64::from(self.skipping));
+        sig = mix_signature(sig, self.overflow_rows.len() as u64);
+        sig = mix_signature(sig, self.sets[0].total_entries() as u64);
+        sig = mix_signature(sig, self.sets[1].total_entries() as u64);
+        let mode = match self.vec_mode {
+            None => 0u64,
+            Some(VectorMode::Direct { queue }) => 1 | (queue as u64) << 8,
+            Some(VectorMode::Merge { src, helper }) => {
+                2 | (src as u64) << 8 | (helper as u64) << 32
+            }
+        };
+        sig = mix_signature(sig, mode);
+        let ph2 = self.phase2.map_or(0u64, |p| 1 | (p.set as u64) << 8 | (p.row as u64) << 16);
+        mix_signature(sig, ph2)
     }
 }

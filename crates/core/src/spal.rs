@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use matraptor_sim::watchdog::mix_signature;
 use matraptor_sparse::C2sr;
 
 use crate::config::MatRaptorConfig;
@@ -212,6 +213,27 @@ impl SpAl {
     /// study).
     pub fn assigned_rows(&self) -> &[u32] {
         &self.rows
+    }
+
+    /// Forward-progress signature for the watchdog: folds every cursor
+    /// and occupancy that changes when this unit moves a token or a
+    /// request. Deliberately excludes anything that advances while the
+    /// unit is merely waiting.
+    pub(crate) fn progress_signature(&self) -> u64 {
+        let mut sig = mix_signature(0, self.info_cursor as u64);
+        sig = mix_signature(sig, self.data_cursor as u64);
+        sig = mix_signature(sig, self.in_flight as u64);
+        sig = mix_signature(sig, self.staging.len() as u64);
+        sig = mix_signature(sig, self.pending_info.len() as u64);
+        sig = mix_signature(sig, self.pending_data.len() as u64);
+        sig = mix_signature(sig, self.current_plan.len() as u64);
+        mix_signature(sig, self.entries_issued as u64)
+    }
+
+    /// Occupancy snapshot for deadlock diagnostics:
+    /// `(in_flight, staging, rows_remaining)`.
+    pub(crate) fn occupancy(&self) -> (usize, usize, usize) {
+        (self.in_flight, self.staging.len(), self.rows.len().saturating_sub(self.data_cursor))
     }
 
     #[doc(hidden)]

@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use matraptor_sim::watchdog::mix_signature;
 use matraptor_sparse::C2sr;
 
 use crate::config::MatRaptorConfig;
@@ -33,6 +34,10 @@ pub struct SpBl {
     job_window: usize,
     /// Diagnostic counters: (blocked-on-data, blocked-on-info, staging-full, no-jobs) cycles.
     pub(crate) blocked: [u64; 4],
+    /// Set when an incoming A token referenced a B row outside the
+    /// matrix — a corrupted stream. `(col, bound)`; the accelerator
+    /// polls this and aborts with `SimError::MalformedInput`.
+    malformed: Option<(u32, u32)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +87,7 @@ impl SpBl {
             staging_cap: 4 * cfg.coupling_fifo_depth,
             job_window: 32,
             blocked: [0; 4],
+            malformed: None,
         }
     }
 
@@ -132,6 +138,16 @@ impl SpBl {
         // Accept new A tokens into the job window.
         while self.jobs.len() < self.job_window {
             let Some(tok) = input.pop_front() else { break };
+            // Bounds check at the stream boundary: a corrupted C²SR
+            // stream can carry a column id outside B's row space, which
+            // would otherwise turn into a wild row-info fetch. Flag it
+            // instead of building the job; the accelerator aborts the run.
+            if let ATok::Entry { col, .. } = tok {
+                if col as usize >= b.rows() {
+                    self.malformed = Some((col, b.rows() as u32));
+                    break;
+                }
+            }
             let job = match tok {
                 ATok::Entry { val, row, col, last_in_row } => Job {
                     seq: self.next_seq,
@@ -290,5 +306,36 @@ impl SpBl {
     /// Whether all accepted jobs have been fully forwarded.
     pub(crate) fn is_done(&self) -> bool {
         self.jobs.is_empty() && self.staging.is_empty() && self.in_flight == 0
+    }
+
+    /// The malformed-stream flag, if the bounds check tripped.
+    pub(crate) fn malformed_input(&self) -> Option<(u32, u32)> {
+        self.malformed
+    }
+
+    /// Forward-progress signature for the watchdog. Folds job/stage
+    /// occupancies and the front job's drain cursors — but *not* the
+    /// `blocked` counters, which advance precisely while the unit is
+    /// stuck and would mask a deadlock.
+    pub(crate) fn progress_signature(&self) -> u64 {
+        let mut sig = mix_signature(0, self.next_seq);
+        sig = mix_signature(sig, self.jobs.len() as u64);
+        sig = mix_signature(sig, self.staging.len() as u64);
+        sig = mix_signature(sig, self.in_flight as u64);
+        sig = mix_signature(sig, self.pending_info.len() as u64);
+        sig = mix_signature(sig, self.pending_data.len() as u64);
+        if let Some(f) = self.jobs.front() {
+            sig = mix_signature(sig, u64::from(f.info_requested) | u64::from(f.info_ready) << 1);
+            sig = mix_signature(sig, f.ready_entries as u64);
+            sig = mix_signature(sig, f.drained_entries as u64);
+            sig = mix_signature(sig, f.plan.as_ref().map_or(u64::MAX, |p| p.len() as u64));
+        }
+        sig
+    }
+
+    /// Occupancy snapshot for deadlock diagnostics:
+    /// `(jobs, in_flight, staging)`.
+    pub(crate) fn occupancy(&self) -> (usize, usize, usize) {
+        (self.jobs.len(), self.in_flight, self.staging.len())
     }
 }

@@ -2,6 +2,8 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
+use matraptor_sim::watchdog::mix_signature;
+
 use crate::config::MatRaptorConfig;
 use crate::layout::{MatrixLayout, INFO_BYTES};
 use crate::port::MemPort;
@@ -43,6 +45,13 @@ pub(crate) struct Writer {
     queue_cap: usize,
     /// Channel-local base of the C data region.
     data_base_local: u64,
+    /// Total entries accepted via `push_entry` (fault bookkeeping).
+    entries_pushed: u64,
+    /// Fault injection: silently drop the append with this ordinal.
+    /// One-shot; cleared after firing.
+    pub(crate) fault_drop_append: Option<u64>,
+    /// Appends actually dropped by the fault (campaign reporting).
+    pub(crate) dropped_appends: u64,
 }
 
 impl Writer {
@@ -60,6 +69,9 @@ impl Writer {
             finished: Vec::new(),
             entry_bytes: cfg.entry_bytes as u32,
             queue_cap: 16,
+            entries_pushed: 0,
+            fault_drop_append: None,
+            dropped_appends: 0,
         }
     }
 
@@ -71,6 +83,16 @@ impl Writer {
     /// Accepts one merged `(col, val)` entry for row `row`.
     pub(crate) fn push_entry(&mut self, row: u32, col: u32, val: f64, cfg: &MatRaptorConfig) {
         debug_assert!(self.can_accept());
+        let ordinal = self.entries_pushed;
+        self.entries_pushed += 1;
+        if self.fault_drop_append == Some(ordinal) {
+            // Injected silent data loss: the entry vanishes between the
+            // adder tree and the write buffer. Detected (if at all) only
+            // by the output-integrity cross-check downstream.
+            self.fault_drop_append = None;
+            self.dropped_appends += 1;
+            return;
+        }
         if self.cur_row != Some(row) {
             debug_assert!(self.cur_row.is_none(), "previous row not finished");
             self.cur_row = Some(row);
@@ -152,5 +174,20 @@ impl Writer {
             && self.pending.is_empty()
             && self.buffered_bytes == 0
             && self.cur_row.is_none()
+    }
+
+    /// Forward-progress signature for the watchdog.
+    pub(crate) fn progress_signature(&self) -> u64 {
+        let mut sig = mix_signature(0, self.entries_pushed);
+        sig = mix_signature(sig, self.queue.len() as u64);
+        sig = mix_signature(sig, self.pending.len() as u64);
+        sig = mix_signature(sig, self.buffered_bytes as u64);
+        sig = mix_signature(sig, self.finished.len() as u64);
+        mix_signature(sig, self.local_cursor)
+    }
+
+    /// Occupancy snapshot for deadlock diagnostics: `(queued, pending)`.
+    pub(crate) fn occupancy(&self) -> (usize, usize) {
+        (self.queue.len(), self.pending.len())
     }
 }

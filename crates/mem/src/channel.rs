@@ -98,6 +98,11 @@ impl Channel {
         self.queue.free()
     }
 
+    /// Current queue occupancy, surfaced in deadlock diagnostics.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Enqueues a fragment.
     ///
     /// # Panics

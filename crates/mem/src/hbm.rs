@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use matraptor_sim::{Cycle, LatencyPipe};
 
 use crate::channel::{Channel, Fragment};
+use crate::fault::{FaultCounters, MemFaults};
 use crate::{ChannelStats, HbmConfig, MemKind, MemRequest, MemResponse, RequestId};
 
 /// Aggregate statistics across all channels.
@@ -95,6 +96,9 @@ pub struct Hbm {
     response_pipe: LatencyPipe<MemResponse>,
     completed_requests: u64,
     latency_sum: u64,
+    /// Installed fault schedule (empty by default; see [`MemFaults`]).
+    faults: MemFaults,
+    fault_counters: FaultCounters,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -123,12 +127,31 @@ impl Hbm {
             response_pipe,
             completed_requests: 0,
             latency_sum: 0,
+            faults: MemFaults::none(),
+            fault_counters: FaultCounters::default(),
         }
     }
 
     /// The configuration this device was built with.
     pub fn config(&self) -> &HbmConfig {
         &self.cfg
+    }
+
+    /// Installs a deterministic fault schedule. An empty schedule (the
+    /// default) leaves behaviour bit-identical to a fault-free device.
+    pub fn set_faults(&mut self, faults: MemFaults) {
+        self.faults = faults;
+    }
+
+    /// How often the installed fault schedule actually bit.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault_counters
+    }
+
+    /// Current depth of each channel's request queue (occupancy only; an
+    /// in-service burst is not counted). Used by deadlock diagnostics.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.channels.iter().map(Channel::queue_len).collect()
     }
 
     /// Splits a request into burst fragments (without enqueueing).
@@ -162,8 +185,15 @@ impl Hbm {
     }
 
     /// Submits a request; returns `false` (and changes nothing) if any
-    /// target channel queue lacks space or the id is already in flight.
+    /// target channel queue lacks space, the id is already in flight, or
+    /// an installed refusal fault covers a target channel this cycle.
     pub fn submit(&mut self, now: Cycle, req: MemRequest) -> bool {
+        if !self.faults.is_empty()
+            && self.fragments(&req).iter().any(|&(ch, _)| self.faults.refusing(ch, now.as_u64()))
+        {
+            self.fault_counters.refused_submits += 1;
+            return false;
+        }
         if !self.can_accept(&req) {
             return false;
         }
@@ -186,7 +216,11 @@ impl Hbm {
     /// Advances all channels one cycle and matures completed requests into
     /// the response pipe.
     pub fn tick(&mut self, now: Cycle) {
-        for ch in &mut self.channels {
+        for (ch_idx, ch) in self.channels.iter_mut().enumerate() {
+            if !self.faults.is_empty() && self.faults.stalled(ch_idx, now.as_u64()) {
+                self.fault_counters.stalled_cycles += 1;
+                continue;
+            }
             if let Some(frag) = ch.tick(now, &self.cfg) {
                 let done = {
                     let p = self

@@ -18,17 +18,25 @@
 //!
 //! [`Hbm`] is the component the accelerator model ticks; [`patterns`]
 //! contains the CSR vs C²SR access-pattern drivers that regenerate Fig. 6.
+//!
+//! For robustness campaigns the device also accepts a deterministic
+//! [`MemFaults`] schedule ([`Hbm::set_faults`]): per-channel service
+//! stalls and admission refusals whose effects are counted in
+//! [`FaultCounters`]. An empty schedule leaves behaviour bit-identical to
+//! a fault-free device.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod channel;
 mod config;
+pub mod fault;
 mod hbm;
 pub mod patterns;
 mod request;
 
 pub use channel::ChannelStats;
 pub use config::HbmConfig;
+pub use fault::{FaultCounters, FaultWindow, MemFaults};
 pub use hbm::{Hbm, HbmStats};
 pub use request::{MemKind, MemRequest, MemResponse, RequestId};

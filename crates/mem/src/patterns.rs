@@ -31,6 +31,54 @@ pub struct BandwidthReport {
 /// One PE's request stream: `(addr, bytes)` issued in order.
 pub type RequestStream = Vec<(u64, u32)>;
 
+/// A bandwidth measurement failed to drain: some requests never
+/// completed within the cycle budget. Reports where the work got stuck —
+/// per-channel queue depths and the in-flight count — so a wedged model
+/// (or an injected fault) is attributable instead of a bare panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainStall {
+    /// Memory cycle at which the drain was abandoned.
+    pub cycle: u64,
+    /// Requests that did complete.
+    pub completed: usize,
+    /// Requests the streams wanted completed.
+    pub total: usize,
+    /// Requests submitted but unanswered.
+    pub in_flight: usize,
+    /// Queue depth of every channel at abandonment; the deepest non-empty
+    /// entry is the stuck channel.
+    pub channel_queue_depths: Vec<usize>,
+}
+
+impl DrainStall {
+    /// The most-backed-up channel `(index, depth)`, if any queue is
+    /// non-empty.
+    pub fn stuck_channel(&self) -> Option<(usize, usize)> {
+        self.channel_queue_depths
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, depth)| depth > 0)
+            .max_by_key(|&(_, depth)| depth)
+    }
+}
+
+impl std::fmt::Display for DrainStall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bandwidth drain stalled at cycle {}: {}/{} requests completed, {} in flight",
+            self.cycle, self.completed, self.total, self.in_flight
+        )?;
+        if let Some((ch, depth)) = self.stuck_channel() {
+            write!(f, "; stuck channel {ch} holds {depth} queued fragments")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DrainStall {}
+
 /// Drives `streams` (one per PE) against a fresh [`Hbm`] until every
 /// request has completed, with each PE keeping up to `max_outstanding`
 /// requests in flight — the paper's "outstanding requests and responses
@@ -38,15 +86,16 @@ pub type RequestStream = Vec<(u64, u32)>;
 ///
 /// Returns the achieved-bandwidth report used by the Fig. 6 binary.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation fails to drain within a generous cycle budget
-/// (indicates a deadlock in the model, which tests should catch).
+/// [`DrainStall`] if the simulation fails to drain within a generous
+/// cycle budget — a deadlock in the model or the request streams. The
+/// error names the stuck channel and its queue depth.
 pub fn measure_bandwidth(
     cfg: &HbmConfig,
     streams: &[RequestStream],
     max_outstanding: usize,
-) -> BandwidthReport {
+) -> Result<BandwidthReport, DrainStall> {
     let mut hbm = Hbm::new(cfg.clone());
     let total_requests: usize = streams.iter().map(Vec::len).sum();
     let total_bytes: u64 = streams.iter().flatten().map(|&(_, b)| b as u64).sum();
@@ -62,7 +111,15 @@ pub fn measure_bandwidth(
     let budget = (total_bytes * 64).max(100_000);
     let mut t = 0u64;
     while completed < total_requests {
-        assert!(t < budget, "bandwidth measurement did not drain (deadlock?)");
+        if t >= budget {
+            return Err(DrainStall {
+                cycle: t,
+                completed,
+                total: total_requests,
+                in_flight: hbm.in_flight(),
+                channel_queue_depths: hbm.queue_depths(),
+            });
+        }
         let now = Cycle(t);
         for (pe, stream) in streams.iter().enumerate() {
             while next_idx[pe] < stream.len() && outstanding[pe] < max_outstanding {
@@ -85,12 +142,12 @@ pub fn measure_bandwidth(
     }
 
     let stats = hbm.stats();
-    BandwidthReport {
+    Ok(BandwidthReport {
         useful_bytes: stats.bytes_read + stats.bytes_written,
         elapsed_cycles: t,
         achieved_gbs: stats.achieved_bandwidth_gbs(t, cfg.clock_ghz),
         peak_gbs: cfg.peak_bandwidth_gbs(),
-    }
+    })
 }
 
 /// Builds the per-PE request streams for the **CSR** layout: row lengths
@@ -162,8 +219,8 @@ mod tests {
         // The headline of Fig. 6.
         let cfg = HbmConfig::with_channels(8);
         let rows = row_lengths(2000);
-        let csr = measure_bandwidth(&cfg, &csr_streams(&rows, 8, 8), 64);
-        let c2sr = measure_bandwidth(&cfg, &c2sr_streams(&cfg, &rows, 8, 64), 64);
+        let csr = measure_bandwidth(&cfg, &csr_streams(&rows, 8, 8), 64).expect("drains");
+        let c2sr = measure_bandwidth(&cfg, &c2sr_streams(&cfg, &rows, 8, 64), 64).expect("drains");
         assert!(
             c2sr.achieved_gbs > 3.0 * csr.achieved_gbs,
             "C2SR {:.1} GB/s should dwarf CSR {:.1} GB/s",
@@ -182,7 +239,8 @@ mod tests {
         let mut last = 0.0;
         for n in [2usize, 4, 8] {
             let cfg = HbmConfig::with_channels(n);
-            let rep = measure_bandwidth(&cfg, &c2sr_streams(&cfg, &rows, n, 64), 64);
+            let rep =
+                measure_bandwidth(&cfg, &c2sr_streams(&cfg, &rows, n, 64), 64).expect("drains");
             assert!(
                 rep.achieved_gbs > 1.6 * last,
                 "{n} channels: {:.1} GB/s did not scale from {last:.1}",
@@ -216,9 +274,61 @@ mod tests {
     fn report_is_internally_consistent() {
         let cfg = HbmConfig::with_channels(2);
         let rows = row_lengths(100);
-        let rep = measure_bandwidth(&cfg, &c2sr_streams(&cfg, &rows, 2, 64), 16);
+        let rep = measure_bandwidth(&cfg, &c2sr_streams(&cfg, &rows, 2, 64), 16).expect("drains");
         assert_eq!(rep.useful_bytes, 100 * 200);
         assert!(rep.achieved_gbs <= rep.peak_gbs);
         assert!(rep.elapsed_cycles > 0);
+    }
+
+    #[test]
+    fn stalled_channel_reports_drain_stall_instead_of_panicking() {
+        use crate::fault::{FaultWindow, MemFaults};
+        use crate::MemRequest;
+
+        // Drive a permanently stalled single-channel device by hand: the
+        // request never completes and the drain must surface the stuck
+        // channel and its queue depth.
+        let cfg = HbmConfig::with_channels(1);
+        let mut hbm = Hbm::new(cfg);
+        hbm.set_faults(MemFaults {
+            stalls: vec![FaultWindow::forever(0, 0)],
+            refusals: Vec::new(),
+        });
+        assert!(hbm.submit(Cycle(0), MemRequest::read(1, 0, 64)));
+        for t in 0..200 {
+            hbm.tick(Cycle(t));
+            assert!(hbm.pop_response(Cycle(t)).is_none());
+        }
+        assert!(!hbm.is_idle(), "stalled channel must not drain");
+        assert_eq!(hbm.in_flight(), 1);
+        assert_eq!(hbm.queue_depths(), vec![1]);
+        assert_eq!(hbm.fault_counters().stalled_cycles, 200);
+
+        // And through the drain API: a stream that can never complete
+        // (zero outstanding-request budget, so nothing is ever submitted)
+        // must return the structured error rather than hanging.
+        let cfg = HbmConfig::with_channels(1);
+        let streams = vec![vec![(0u64, 64u32)]];
+        let stall = measure_bandwidth(&cfg, &streams, 0).expect_err("cannot drain");
+        assert_eq!(stall.completed, 0);
+        assert_eq!(stall.total, 1);
+        assert!(stall.to_string().contains("stalled"));
+    }
+
+    #[test]
+    fn refusal_window_bounces_submits_until_it_lifts() {
+        use crate::fault::{FaultWindow, MemFaults};
+        use crate::MemRequest;
+
+        let cfg = HbmConfig::with_channels(1);
+        let mut hbm = Hbm::new(cfg);
+        hbm.set_faults(MemFaults {
+            stalls: Vec::new(),
+            refusals: vec![FaultWindow { channel: 0, start: 0, end: 10 }],
+        });
+        assert!(!hbm.submit(Cycle(0), MemRequest::read(1, 0, 64)));
+        assert!(!hbm.submit(Cycle(9), MemRequest::read(1, 0, 64)));
+        assert!(hbm.submit(Cycle(10), MemRequest::read(1, 0, 64)));
+        assert_eq!(hbm.fault_counters().refused_submits, 2);
     }
 }

@@ -16,6 +16,11 @@
 //!   queues");
 //! * [`LatencyPipe`] — a delay line for modelling fixed-latency paths such
 //!   as DRAM access latency;
+//! * [`Watchdog`] — a forward-progress tracker: components report cheap
+//!   occupancy signatures each cycle and the top level learns, with a
+//!   structured per-source diagnostic, when no token has moved for a
+//!   configured window (the deadlock guard of the fault-injection
+//!   subsystem);
 //! * [`stats`] — counters and histograms for cycle accounting (Fig. 9's
 //!   busy/stall breakdown is built from these).
 
@@ -26,7 +31,9 @@ mod clock;
 mod fifo;
 mod latency;
 pub mod stats;
+pub mod watchdog;
 
 pub use clock::Cycle;
 pub use fifo::Fifo;
 pub use latency::LatencyPipe;
+pub use watchdog::{SourceId, SourceReport, Watchdog, WatchdogReport};

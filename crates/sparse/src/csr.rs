@@ -65,45 +65,37 @@ impl<T: Scalar> Csr<T> {
         col_idx: Vec<Index>,
         values: Vec<T>,
     ) -> Result<Self, FormatError> {
-        if row_ptr.len() != rows + 1 {
-            return Err(FormatError::PointerLength { expected: rows + 1, actual: row_ptr.len() });
-        }
-        if col_idx.len() != values.len() {
-            return Err(FormatError::ArrayLengthMismatch {
-                indices: col_idx.len(),
-                values: values.len(),
-            });
-        }
-        if row_ptr[0] != 0 {
-            return Err(FormatError::MalformedPointers { at: 0 });
-        }
-        for i in 0..rows {
-            if row_ptr[i] > row_ptr[i + 1] {
-                return Err(FormatError::MalformedPointers { at: i + 1 });
-            }
-        }
-        if row_ptr[rows] != col_idx.len() {
-            return Err(FormatError::MalformedPointers { at: rows });
-        }
-        for i in 0..rows {
-            let mut prev: Option<Index> = None;
-            for &c in &col_idx[row_ptr[i]..row_ptr[i + 1]] {
-                if c as usize >= cols {
-                    return Err(FormatError::IndexOutOfBounds {
-                        axis: "column",
-                        index: c as usize,
-                        bound: cols,
+        check_structure(rows, cols, &row_ptr, &col_idx, values.len())?;
+        Ok(Csr { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Revalidates every structural invariant plus value finiteness.
+    ///
+    /// Constructors already enforce the structural invariants, so for a
+    /// matrix built through the public API this only adds the finiteness
+    /// scan — NaN and ±∞ values pass [`Csr::from_parts`] (they are
+    /// structurally fine) but poison the accelerator's merge comparisons
+    /// and the reference cross-check. `Driver::launch` calls this at the
+    /// host/accelerator boundary so malformed inputs are rejected with a
+    /// structured error instead of mis-simulating.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FormatError`] a constructor would report, plus
+    /// [`FormatError::NonFiniteValue`] for the first NaN/∞ entry.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        check_structure(self.rows, self.cols, &self.row_ptr, &self.col_idx, self.values.len())?;
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                if !self.values[k].is_finite_value() {
+                    return Err(FormatError::NonFiniteValue {
+                        row: i,
+                        col: self.col_idx[k] as usize,
                     });
                 }
-                if let Some(p) = prev {
-                    if c <= p {
-                        return Err(FormatError::UnsortedIndices { outer: i });
-                    }
-                }
-                prev = Some(c);
             }
         }
-        Ok(Csr { rows, cols, row_ptr, col_idx, values })
+        Ok(())
     }
 
     /// Builds a CSR matrix from arrays already known to satisfy the
@@ -265,6 +257,57 @@ impl<T: Scalar> Csr<T> {
             && self.col_idx == other.col_idx
             && self.values.iter().zip(&other.values).all(|(&a, &b)| a.abs_diff(b) <= tol)
     }
+}
+
+/// Structural invariant checks shared by `from_parts` and `validate`:
+/// pointer length and monotonicity, index bounds, and strictly increasing
+/// column ids within each row.
+fn check_structure(
+    rows: usize,
+    cols: usize,
+    row_ptr: &[usize],
+    col_idx: &[Index],
+    num_values: usize,
+) -> Result<(), FormatError> {
+    if row_ptr.len() != rows + 1 {
+        return Err(FormatError::PointerLength { expected: rows + 1, actual: row_ptr.len() });
+    }
+    if col_idx.len() != num_values {
+        return Err(FormatError::ArrayLengthMismatch {
+            indices: col_idx.len(),
+            values: num_values,
+        });
+    }
+    if row_ptr[0] != 0 {
+        return Err(FormatError::MalformedPointers { at: 0 });
+    }
+    for i in 0..rows {
+        if row_ptr[i] > row_ptr[i + 1] {
+            return Err(FormatError::MalformedPointers { at: i + 1 });
+        }
+    }
+    if row_ptr[rows] != col_idx.len() {
+        return Err(FormatError::MalformedPointers { at: rows });
+    }
+    for i in 0..rows {
+        let mut prev: Option<Index> = None;
+        for &c in &col_idx[row_ptr[i]..row_ptr[i + 1]] {
+            if c as usize >= cols {
+                return Err(FormatError::IndexOutOfBounds {
+                    axis: "column",
+                    index: c as usize,
+                    bound: cols,
+                });
+            }
+            if let Some(p) = prev {
+                if c <= p {
+                    return Err(FormatError::UnsortedIndices { outer: i });
+                }
+            }
+            prev = Some(c);
+        }
+    }
+    Ok(())
 }
 
 /// Shared counting-sort transpose used by `to_csc` and `transpose`.

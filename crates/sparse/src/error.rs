@@ -60,6 +60,15 @@ pub enum SparseError {
     },
     /// A C²SR matrix declared zero channels.
     ZeroChannels,
+    /// A stored value is NaN or ±∞. Rejected at the driver boundary
+    /// because non-finite values poison the accelerator's merge
+    /// comparisons and the reference cross-check.
+    NonFiniteValue {
+        /// Row holding the offending entry.
+        row: usize,
+        /// Column id of the offending entry.
+        col: usize,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -84,6 +93,9 @@ impl fmt::Display for SparseError {
                 write!(f, "dimension mismatch: {}x{} vs {}x{}", left.0, left.1, right.0, right.1)
             }
             SparseError::ZeroChannels => write!(f, "C2SR requires at least one channel"),
+            SparseError::NonFiniteValue { row, col } => {
+                write!(f, "non-finite value at ({row}, {col})")
+            }
         }
     }
 }

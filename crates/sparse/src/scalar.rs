@@ -44,6 +44,14 @@ pub trait Scalar: Copy + PartialEq + fmt::Debug + Send + Sync + 'static {
     fn is_zero(self) -> bool {
         self == Self::ZERO
     }
+
+    /// Whether this value is finite (neither NaN nor ±∞). Integer types
+    /// are always finite; floating types override. Input validation at the
+    /// driver boundary rejects non-finite values because NaN poisons the
+    /// accelerator's merge comparisons and the reference cross-check.
+    fn is_finite_value(self) -> bool {
+        true
+    }
 }
 
 impl Scalar for f64 {
@@ -64,6 +72,11 @@ impl Scalar for f64 {
     fn abs_diff(self, rhs: Self) -> f64 {
         (self - rhs).abs()
     }
+
+    #[inline]
+    fn is_finite_value(self) -> bool {
+        self.is_finite()
+    }
 }
 
 impl Scalar for f32 {
@@ -83,6 +96,11 @@ impl Scalar for f32 {
     #[inline]
     fn abs_diff(self, rhs: Self) -> f64 {
         f64::from((self - rhs).abs())
+    }
+
+    #[inline]
+    fn is_finite_value(self) -> bool {
+        self.is_finite()
     }
 }
 

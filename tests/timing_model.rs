@@ -63,9 +63,11 @@ fn csr_vs_c2sr_bandwidth_gap_holds_at_all_channel_counts() {
     let rows: Vec<u64> = vec![160; 1200];
     for n in [2usize, 4, 8] {
         let cfg = HbmConfig::with_channels(n);
-        let csr = patterns::measure_bandwidth(&cfg, &patterns::csr_streams(&rows, n, 8), 64);
+        let csr = patterns::measure_bandwidth(&cfg, &patterns::csr_streams(&rows, n, 8), 64)
+            .expect("csr drain");
         let c2sr =
-            patterns::measure_bandwidth(&cfg, &patterns::c2sr_streams(&cfg, &rows, n, 64), 64);
+            patterns::measure_bandwidth(&cfg, &patterns::c2sr_streams(&cfg, &rows, n, 64), 64)
+                .expect("c2sr drain");
         assert!(
             c2sr.achieved_gbs > 4.0 * csr.achieved_gbs,
             "{n} channels: C2SR {:.1} vs CSR {:.1}",
