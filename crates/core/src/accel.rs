@@ -5,15 +5,19 @@ use std::collections::{BTreeMap, VecDeque};
 use matraptor_mem::Hbm;
 use matraptor_sim::stats::CycleBreakdown;
 use matraptor_sim::watchdog::mix_signature;
-use matraptor_sim::{Cycle, Watchdog, WatchdogReport};
-use matraptor_sparse::{spgemm, C2sr, Csr};
+use matraptor_sim::{Cycle, SourceId, SourceState, Watchdog, WatchdogReport};
+use matraptor_sparse::{abft, spgemm, C2sr, Csr};
 
+use crate::checkpoint::{
+    fingerprint_config, fingerprint_matrix, Checkpoint, CheckpointState, LaneState,
+    StreamFaultState, WdSourceState,
+};
 use crate::config::MatRaptorConfig;
 use crate::error::{
     ChannelDiagnostic, ConfigError, DeadlockDiagnostic, LaneDiagnostic, MalformedInput, SimError,
 };
 use crate::fault::{FaultKind, FaultPlan};
-use crate::layout::{matrix_layout, Regions};
+use crate::layout::{matrix_layout, MatrixLayout, Regions};
 use crate::pe::Pe;
 use crate::port::MemPort;
 use crate::spal::SpAl;
@@ -51,6 +55,20 @@ pub struct RunOutcome {
     pub c2sr: C2sr<f64>,
     /// Cycle counts, traffic, and breakdowns.
     pub stats: MatRaptorStats,
+}
+
+/// A failed checkpointing run: the error plus the last checkpoint taken
+/// before the failure, if any — the input to the recovery ladder's
+/// resume-from-checkpoint rung.
+#[derive(Debug)]
+pub struct FailedRun {
+    /// Why the run failed.
+    pub error: SimError,
+    /// The most recent checkpoint preceding the failure. `None` when the
+    /// run failed before the first checkpoint interval elapsed. Boxed:
+    /// a checkpoint holds the whole machine state, and the happy path
+    /// should not pay its size in the `Result`.
+    pub checkpoint: Option<Box<Checkpoint>>,
 }
 
 struct Lane {
@@ -94,6 +112,40 @@ impl StreamInjector {
         }
         self.seen += 1;
     }
+}
+
+/// Read-only context of a run: everything deterministically derived from
+/// `(config, A, B)` once, shared by fresh starts and checkpoint resumes.
+/// Because it is recomputed — never serialized — a checkpoint stays small
+/// and a resume is guaranteed to see the exact layouts and budgets the
+/// original run saw (the fingerprints in the checkpoint enforce that the
+/// inputs really are the same).
+struct RunContext<'m> {
+    a: &'m Csr<f64>,
+    b: &'m Csr<f64>,
+    ac: C2sr<f64>,
+    bc: C2sr<f64>,
+    a_layout: MatrixLayout,
+    b_layout: MatrixLayout,
+    c_layout: MatrixLayout,
+    ratio: u64,
+    budget: u64,
+}
+
+/// The complete mutable state of a run — exactly what a [`Checkpoint`]
+/// captures. The per-cycle `inboxes` are deliberately absent: they are
+/// provably empty at the top of every cycle (responses are drained in the
+/// same iteration they pop), which is where snapshots are taken.
+struct RunState {
+    t: u64,
+    next_id: u64,
+    route: BTreeMap<u64, usize>,
+    lanes: Vec<Lane>,
+    hbm: Hbm,
+    stream_fault: Option<StreamInjector>,
+    watchdog: Watchdog,
+    lane_sources: Vec<SourceId>,
+    hbm_source: SourceId,
 }
 
 /// Display names for watchdog lane sources (`&'static str` registry; lanes
@@ -190,6 +242,108 @@ impl Accelerator {
         b: &Csr<f64>,
         plan: Option<&FaultPlan>,
     ) -> Result<RunOutcome, SimError> {
+        let ctx = self.prepare_context(a, b)?;
+        let mut state = self.fresh_state(&ctx, plan);
+        let completed = self.drive(&ctx, &mut state, None)?;
+        debug_assert!(completed, "unbounded drive returned without completing");
+        self.finalize(&ctx, &state)
+    }
+
+    /// Runs until accelerator cycle `at_cycle` and captures a resumable
+    /// [`Checkpoint`] of the full machine state, or `None` if the run
+    /// drained before reaching that cycle.
+    ///
+    /// Resuming the checkpoint with [`Accelerator::try_run_from`] yields
+    /// bit-identical cycle counts and output values to the uninterrupted
+    /// run — the replay-determinism invariant of DESIGN.md §9.
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::try_run`], for failures occurring *before* the
+    /// checkpoint cycle.
+    pub fn try_run_to_checkpoint(
+        &self,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        plan: Option<&FaultPlan>,
+        at_cycle: u64,
+    ) -> Result<Option<Checkpoint>, SimError> {
+        let ctx = self.prepare_context(a, b)?;
+        let mut state = self.fresh_state(&ctx, plan);
+        if self.drive(&ctx, &mut state, Some(at_cycle))? {
+            Ok(None)
+        } else {
+            Ok(Some(self.snapshot_run(&ctx, &state)))
+        }
+    }
+
+    /// Resumes a run from a [`Checkpoint`] and drives it to completion.
+    ///
+    /// The operands must be the same matrices the checkpoint was taken
+    /// from, under the same configuration; fingerprint mismatches are
+    /// rejected with [`SimError::CheckpointMismatch`] instead of silently
+    /// diverging.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CheckpointMismatch`] for foreign checkpoints; otherwise
+    /// as [`Accelerator::try_run`].
+    pub fn try_run_from(
+        &self,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        checkpoint: &Checkpoint,
+    ) -> Result<RunOutcome, SimError> {
+        let ctx = self.prepare_context(a, b)?;
+        let mut state = self.restore_run(&ctx, checkpoint)?;
+        let completed = self.drive(&ctx, &mut state, None)?;
+        debug_assert!(completed, "unbounded drive returned without completing");
+        self.finalize(&ctx, &state)
+    }
+
+    /// [`Accelerator::try_run_with_faults`] that additionally takes a
+    /// checkpoint every `every` accelerator cycles (`0` disables
+    /// checkpointing), so a failure returns the last pre-failure machine
+    /// state alongside the error — the entry point of the recovery
+    /// ladder's resume rung.
+    ///
+    /// # Errors
+    ///
+    /// A [`FailedRun`] carrying the [`SimError`] and the most recent
+    /// checkpoint taken before the failure (if any).
+    pub fn try_run_with_checkpoints(
+        &self,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        plan: Option<&FaultPlan>,
+        every: u64,
+    ) -> Result<RunOutcome, FailedRun> {
+        let ctx = match self.prepare_context(a, b) {
+            Ok(ctx) => ctx,
+            Err(error) => return Err(FailedRun { error, checkpoint: None }),
+        };
+        let mut state = self.fresh_state(&ctx, plan);
+        let mut last: Option<Box<Checkpoint>> = None;
+        loop {
+            let pause = if every == 0 { None } else { Some(state.t + every) };
+            match self.drive(&ctx, &mut state, pause) {
+                Ok(true) => {
+                    return self
+                        .finalize(&ctx, &state)
+                        .map_err(|error| FailedRun { error, checkpoint: last });
+                }
+                Ok(false) => last = Some(Box::new(self.snapshot_run(&ctx, &state))),
+                Err(error) => return Err(FailedRun { error, checkpoint: last }),
+            }
+        }
+    }
+
+    /// Validates operands and derives the read-only run context.
+    fn prepare_context<'m>(
+        &self,
+        a: &'m Csr<f64>,
+        b: &'m Csr<f64>,
+    ) -> Result<RunContext<'m>, SimError> {
         if a.cols() != b.rows() {
             return Err(SimError::MalformedInput(MalformedInput::InnerDimensionMismatch {
                 a_cols: a.cols(),
@@ -207,13 +361,38 @@ impl Accelerator {
         let b_layout = matrix_layout(&cfg.mem, regions.b_info, regions.b_data, entry);
         let c_layout = matrix_layout(&cfg.mem, regions.c_info, regions.c_data, entry);
 
+        let ratio = cfg.mem_clock_ratio();
+        // Generous budget: SpGEMM needs at least one cycle per product;
+        // allow a large constant factor for memory stalls.
+        let flops = spgemm::multiply_count(a, b);
+        let budget = (flops * 200 + a.nnz() as u64 * 400 + 1_000_000) * ratio;
+
+        Ok(RunContext { a, b, ac, bc, a_layout, b_layout, c_layout, ratio, budget })
+    }
+
+    /// Builds the watchdog with one source per lane plus the HBM —
+    /// identical registration order for fresh starts and restores, so a
+    /// restored [`SourceId`] indexes the same source.
+    fn build_watchdog(&self) -> (Watchdog, Vec<SourceId>, SourceId) {
+        let mut watchdog = Watchdog::new(self.cfg.watchdog_window);
+        let lane_sources: Vec<_> = (0..self.cfg.num_lanes)
+            .map(|l| watchdog.add_source(LANE_NAMES[l.min(LANE_NAMES.len() - 1)]))
+            .collect();
+        let hbm_source = watchdog.add_source("hbm");
+        (watchdog, lane_sources, hbm_source)
+    }
+
+    /// Builds the machine at cycle 0 and arms the fault plan, if any.
+    fn fresh_state(&self, ctx: &RunContext<'_>, plan: Option<&FaultPlan>) -> RunState {
+        let cfg = &self.cfg;
+        let lanes_n = cfg.num_lanes;
         let mut hbm = Hbm::new(cfg.mem.clone());
         let mut lanes: Vec<Lane> = (0..lanes_n)
             .map(|l| Lane {
-                spal: SpAl::new(l, cfg, &ac),
+                spal: SpAl::new(l, cfg, &ctx.ac),
                 spbl: SpBl::new(cfg),
                 pe: Pe::new(cfg),
-                writer: Writer::new(l, cfg, c_layout.data_base),
+                writer: Writer::new(l, cfg, ctx.c_layout.data_base),
                 spal_out: VecDeque::new(),
                 pe_in: VecDeque::new(),
             })
@@ -227,22 +406,22 @@ impl Accelerator {
             hbm.set_faults(plan.mem_faults());
             let site = {
                 let preferred = plan.site % lanes_n;
-                if ac.channel_nnz(preferred) > 0 {
+                if ctx.ac.channel_nnz(preferred) > 0 {
                     preferred
                 } else {
-                    (0..lanes_n).find(|&l| ac.channel_nnz(l) > 0).unwrap_or(preferred)
+                    (0..lanes_n).find(|&l| ctx.ac.channel_nnz(l) > 0).unwrap_or(preferred)
                 }
             };
             match plan.kind {
                 FaultKind::StreamTruncation | FaultKind::StreamCorruption => {
-                    let tokens = ac.channel_nnz(site) as u64;
+                    let tokens = ctx.ac.channel_nnz(site) as u64;
                     if tokens > 0 {
                         stream_fault = Some(StreamInjector {
                             lane: site,
                             target: plan.ordinal % tokens,
                             seen: 0,
                             truncate: plan.kind == FaultKind::StreamTruncation,
-                            corrupt_to: (bc.rows() as u32)
+                            corrupt_to: (ctx.bc.rows() as u32)
                                 .saturating_add(1 + (plan.ordinal % 97) as u32),
                         });
                     }
@@ -258,30 +437,187 @@ impl Accelerator {
             }
         }
 
-        // The forward-progress watchdog: every lane and the HBM register
-        // as sources; the run aborts with a structured diagnostic if none
-        // of them moves for a full window.
-        let mut watchdog = Watchdog::new(cfg.watchdog_window);
-        let lane_sources: Vec<_> = (0..lanes_n)
-            .map(|l| watchdog.add_source(LANE_NAMES[l.min(LANE_NAMES.len() - 1)]))
+        let (watchdog, lane_sources, hbm_source) = self.build_watchdog();
+        RunState {
+            t: 0,
+            next_id: 0,
+            route: BTreeMap::new(),
+            lanes,
+            hbm,
+            stream_fault,
+            watchdog,
+            lane_sources,
+            hbm_source,
+        }
+    }
+
+    /// Serializes the machine at the top of cycle `state.t`, fingerprinted
+    /// against this accelerator's configuration and the run's operands.
+    fn snapshot_run(&self, ctx: &RunContext<'_>, state: &RunState) -> Checkpoint {
+        let (wd_last, wd_states) = state.watchdog.export_state();
+        Checkpoint {
+            state: CheckpointState {
+                cfg_fingerprint: fingerprint_config(&self.cfg),
+                a_fingerprint: fingerprint_matrix(ctx.a),
+                b_fingerprint: fingerprint_matrix(ctx.b),
+                t: state.t,
+                next_id: state.next_id,
+                route: state.route.iter().map(|(&id, &l)| (id, l as u64)).collect(),
+                lanes: state
+                    .lanes
+                    .iter()
+                    .map(|lane| LaneState {
+                        spal: lane.spal.snapshot(),
+                        spbl: lane.spbl.snapshot(),
+                        pe: lane.pe.snapshot(),
+                        writer: lane.writer.snapshot(),
+                        spal_out: lane.spal_out.iter().copied().collect(),
+                        pe_in: lane.pe_in.iter().copied().collect(),
+                    })
+                    .collect(),
+                stream_fault: state.stream_fault.as_ref().map(|inj| StreamFaultState {
+                    lane: inj.lane as u64,
+                    target: inj.target,
+                    seen: inj.seen,
+                    truncate: inj.truncate,
+                    corrupt_to: inj.corrupt_to,
+                }),
+                hbm: state.hbm.snapshot(),
+                wd_last_progress: wd_last.as_u64(),
+                wd_sources: wd_states
+                    .iter()
+                    .map(|s| WdSourceState {
+                        last_signature: s.last_signature,
+                        last_progress: s.last_progress.as_u64(),
+                        observed: s.observed,
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Rebuilds a [`RunState`] from a checkpoint, verifying that it was
+    /// taken by a run of the same configuration over the same operands.
+    fn restore_run(
+        &self,
+        ctx: &RunContext<'_>,
+        checkpoint: &Checkpoint,
+    ) -> Result<RunState, SimError> {
+        let cfg = &self.cfg;
+        let st = &checkpoint.state;
+        if st.cfg_fingerprint != fingerprint_config(cfg) {
+            return Err(SimError::CheckpointMismatch {
+                detail: "configuration differs from the checkpointed run",
+            });
+        }
+        if st.a_fingerprint != fingerprint_matrix(ctx.a) {
+            return Err(SimError::CheckpointMismatch {
+                detail: "matrix A differs from the checkpointed run",
+            });
+        }
+        if st.b_fingerprint != fingerprint_matrix(ctx.b) {
+            return Err(SimError::CheckpointMismatch {
+                detail: "matrix B differs from the checkpointed run",
+            });
+        }
+        let lanes_n = cfg.num_lanes;
+        if st.lanes.len() != lanes_n
+            || st.wd_sources.len() != lanes_n + 1
+            || st.hbm.channels.len() != cfg.mem.num_channels
+        {
+            return Err(SimError::CheckpointMismatch {
+                detail: "checkpoint shape disagrees with the configuration",
+            });
+        }
+
+        let hbm = Hbm::restore(cfg.mem.clone(), &st.hbm);
+        let mut lanes: Vec<Lane> = (0..lanes_n)
+            .map(|l| Lane {
+                spal: SpAl::new(l, cfg, &ctx.ac),
+                spbl: SpBl::new(cfg),
+                pe: Pe::new(cfg),
+                writer: Writer::new(l, cfg, ctx.c_layout.data_base),
+                spal_out: VecDeque::new(),
+                pe_in: VecDeque::new(),
+            })
             .collect();
-        let hbm_source = watchdog.add_source("hbm");
+        for (lane, ls) in lanes.iter_mut().zip(&st.lanes) {
+            lane.spal.restore(&ls.spal);
+            lane.spbl.restore(&ls.spbl);
+            lane.pe.restore(&ls.pe);
+            lane.writer.restore(&ls.writer);
+            lane.spal_out = ls.spal_out.iter().copied().collect();
+            lane.pe_in = ls.pe_in.iter().copied().collect();
+        }
 
-        let fallback = |row: u32| reference_row(a, b, row as usize);
+        let (mut watchdog, lane_sources, hbm_source) = self.build_watchdog();
+        let sources: Vec<SourceState> = st
+            .wd_sources
+            .iter()
+            .map(|s| SourceState {
+                last_signature: s.last_signature,
+                last_progress: Cycle(s.last_progress),
+                observed: s.observed,
+            })
+            .collect();
+        watchdog.import_state(Cycle(st.wd_last_progress), &sources);
 
-        let ratio = cfg.mem_clock_ratio();
-        let mut next_id: u64 = 0;
-        let mut route: BTreeMap<u64, usize> = BTreeMap::new();
+        let stream_fault = st.stream_fault.map(|s| StreamInjector {
+            lane: s.lane as usize,
+            target: s.target,
+            seen: s.seen,
+            truncate: s.truncate,
+            corrupt_to: s.corrupt_to,
+        });
+
+        Ok(RunState {
+            t: st.t,
+            next_id: st.next_id,
+            route: st.route.iter().map(|&(id, l)| (id, l as usize)).collect(),
+            lanes,
+            hbm,
+            stream_fault,
+            watchdog,
+            lane_sources,
+            hbm_source,
+        })
+    }
+
+    /// Advances the machine cycle by cycle until it drains (`Ok(true)`),
+    /// pauses at `pause_at` (`Ok(false)`), or fails.
+    ///
+    /// The pause point is the **top** of a cycle, before any component has
+    /// ticked — the one point where no cross-component state (delivered
+    /// responses) is in flight, which is what makes snapshots exact.
+    fn drive(
+        &self,
+        ctx: &RunContext<'_>,
+        state: &mut RunState,
+        pause_at: Option<u64>,
+    ) -> Result<bool, SimError> {
+        let cfg = &self.cfg;
+        let lanes_n = cfg.num_lanes;
+        let ratio = ctx.ratio;
+        let fallback = |row: u32| reference_row(ctx.a, ctx.b, row as usize);
         let mut inboxes: Vec<Vec<u64>> = vec![Vec::new(); lanes_n];
 
-        // Generous budget: SpGEMM needs at least one cycle per product;
-        // allow a large constant factor for memory stalls.
-        let flops = spgemm::multiply_count(a, b);
-        let budget = (flops * 200 + a.nnz() as u64 * 400 + 1_000_000) * ratio;
+        let RunState {
+            t,
+            next_id,
+            route,
+            lanes,
+            hbm,
+            stream_fault,
+            watchdog,
+            lane_sources,
+            hbm_source,
+        } = state;
 
-        let mut t: u64 = 0;
         loop {
-            let mem_now = Cycle(t / ratio);
+            if pause_at.is_some_and(|k| *t >= k) {
+                return Ok(false);
+            }
+            let mem_now = Cycle(*t / ratio);
             if t.is_multiple_of(ratio) {
                 hbm.tick(mem_now);
                 while let Some(resp) = hbm.pop_response(mem_now) {
@@ -295,7 +631,7 @@ impl Accelerator {
             for (l, lane) in lanes.iter_mut().enumerate() {
                 // Deliver responses.
                 for id in inboxes[l].drain(..) {
-                    if lane.spal.on_response(id, &ac) {
+                    if lane.spal.on_response(id, &ctx.ac) {
                         continue;
                     }
                     if lane.spbl.on_response(id) {
@@ -305,13 +641,7 @@ impl Accelerator {
                     debug_assert!(consumed, "orphan response {id}");
                 }
 
-                let mut port = MemPort {
-                    hbm: &mut hbm,
-                    mem_now,
-                    next_id: &mut next_id,
-                    route: &mut route,
-                    lane: l,
-                };
+                let mut port = MemPort { hbm, mem_now, next_id, route, lane: l };
 
                 let upstream_done =
                     lane.spal.is_done() && lane.spbl.is_done() && lane.spal_out.is_empty();
@@ -319,15 +649,15 @@ impl Accelerator {
                     &mut lane.pe_in,
                     &mut lane.writer,
                     cfg,
-                    &c_layout,
+                    &ctx.c_layout,
                     &fallback,
                     upstream_done,
                 );
                 lane.spbl.tick(
                     &mut port,
                     cfg,
-                    &b_layout,
-                    &bc,
+                    &ctx.b_layout,
+                    &ctx.bc,
                     &mut lane.spal_out,
                     &mut lane.pe_in,
                     cfg.coupling_fifo_depth,
@@ -336,8 +666,8 @@ impl Accelerator {
                 lane.spal.tick(
                     &mut port,
                     cfg,
-                    &a_layout,
-                    &ac,
+                    &ctx.a_layout,
+                    &ctx.ac,
                     &mut lane.spal_out,
                     cfg.coupling_fifo_depth,
                 );
@@ -380,7 +710,7 @@ impl Accelerator {
                     .channel_stats()
                     .iter()
                     .map(|c| {
-                        format!("{:.2}", c.busy_cycles.get() as f64 / (t.max(1) / ratio) as f64)
+                        format!("{:.2}", c.busy_cycles.get() as f64 / ((*t).max(1) / ratio) as f64)
                     })
                     .collect();
                 eprintln!(
@@ -402,7 +732,7 @@ impl Accelerator {
                     sig = mix_signature(sig, lane.writer.progress_signature());
                     sig = mix_signature(sig, lane.spal_out.len() as u64);
                     sig = mix_signature(sig, lane.pe_in.len() as u64);
-                    watchdog.observe(lane_sources[l], Cycle(t), sig);
+                    watchdog.observe(lane_sources[l], Cycle(*t), sig);
                 }
                 // The HBM's signature must only move when it *services*
                 // something: queue depths, in-flight count, and per-channel
@@ -416,37 +746,63 @@ impl Accelerator {
                 for ch in hbm.channel_stats() {
                     sig = mix_signature(sig, ch.busy_cycles.get());
                 }
-                watchdog.observe(hbm_source, Cycle(t), sig);
-                if let Some(report) = watchdog.check(Cycle(t)) {
-                    return Err(SimError::Deadlock(deadlock_diagnostic(&report, &lanes, &hbm)));
+                watchdog.observe(*hbm_source, Cycle(*t), sig);
+                if let Some(report) = watchdog.check(Cycle(*t)) {
+                    return Err(SimError::Deadlock(deadlock_diagnostic(&report, lanes, hbm)));
                 }
             }
 
-            t += 1;
-            if t >= budget {
-                return Err(SimError::CycleBudgetExceeded { budget, cycles: t });
+            *t += 1;
+            if *t >= ctx.budget {
+                return Err(SimError::CycleBudgetExceeded { budget: ctx.budget, cycles: *t });
             }
         }
+        Ok(true)
+    }
+
+    /// Assembles the functional output and statistics of a drained run,
+    /// applying the configured output-integrity checks.
+    fn finalize(&self, ctx: &RunContext<'_>, state: &RunState) -> Result<RunOutcome, SimError> {
+        let cfg = &self.cfg;
+        let lanes_n = cfg.num_lanes;
+        let lanes = &state.lanes;
 
         // Assemble the functional output in C²SR, per-lane row order.
         let mut c2sr =
             // conformance:allow(panic-safety): invariant: lane count is validated positive at construction
-            C2sr::new_for_output(a.rows(), b.cols(), lanes_n).expect("positive lane count");
-        for lane in &lanes {
+            C2sr::new_for_output(ctx.a.rows(), ctx.b.cols(), lanes_n).expect("positive lane count");
+        for lane in lanes {
             for row in &lane.writer.finished {
                 c2sr.append_row(row.row as usize, &row.cols, &row.vals);
             }
         }
         if c2sr.validate().is_err() {
-            return Err(SimError::OutputCorrupted { detail: "output violates C2SR invariants" });
+            return Err(SimError::OutputCorrupted {
+                detail: "output violates C2SR invariants",
+                rows: Vec::new(),
+            });
         }
         let c = c2sr.to_csr();
 
+        // ABFT first: O(nnz) row checksums localise the damage. The full
+        // Gustavson cross-check (when enabled) stays as the belt-and-
+        // braces oracle behind it.
+        if cfg.abft_verification {
+            let report = abft::verify(ctx.a, ctx.b, &c, &abft::AbftOptions::default());
+            if !report.is_ok() {
+                return Err(SimError::OutputCorrupted {
+                    detail: "output fails ABFT row-checksum verification",
+                    rows: report.offending_rows(),
+                });
+            }
+        }
+
         if cfg.verify_against_reference {
-            let reference = spgemm::gustavson(a, b);
+            let reference = spgemm::gustavson(ctx.a, ctx.b);
             if !c.approx_eq(&reference, 1e-6) {
                 return Err(SimError::OutputCorrupted {
                     detail: "output diverges from the Gustavson reference",
+                    rows: Vec::new(),
                 });
             }
         }
@@ -460,7 +816,7 @@ impl Accelerator {
         let mut overflow_padding = 0u64;
         let mut phase1 = 0u64;
         let mut phase2 = 0u64;
-        for lane in &lanes {
+        for lane in lanes {
             let b = lane.pe.breakdown();
             breakdown.merge_from(&b);
             per_pe_breakdown.push(b);
@@ -471,14 +827,14 @@ impl Accelerator {
             phase1 += lane.pe.phase1_cycles.get();
             phase2 += lane.pe.phase2_cycles.get();
         }
-        let mem_stats = hbm.stats();
-        let per_pe_nnz = (0..lanes_n).map(|l| ac.channel_nnz(l) as u64).collect();
+        let mem_stats = state.hbm.stats();
+        let per_pe_nnz = (0..lanes_n).map(|l| ctx.ac.channel_nnz(l) as u64).collect();
 
         Ok(RunOutcome {
             c,
             c2sr,
             stats: MatRaptorStats {
-                total_cycles: t + 1,
+                total_cycles: state.t + 1,
                 clock_ghz: cfg.clock_ghz,
                 breakdown,
                 per_pe_breakdown,
@@ -653,5 +1009,43 @@ mod tests {
         let b = gen::uniform(60, 30, 260, 14);
         let outcome = Accelerator::new(MatRaptorConfig::small_test()).run(&a, &b);
         assert_eq!((outcome.c.rows(), outcome.c.cols()), (40, 30));
+    }
+
+    #[test]
+    fn checkpoint_before_completion_resumes_to_identical_outcome() {
+        let a = gen::uniform(48, 48, 300, 21);
+        let accel = Accelerator::new(MatRaptorConfig::small_test());
+        let full = accel.try_run(&a, &a).expect("clean run");
+        let ck = accel
+            .try_run_to_checkpoint(&a, &a, None, 64)
+            .expect("checkpointing run")
+            .expect("run longer than 64 cycles");
+        assert_eq!(ck.cycle(), 64);
+        let resumed = accel.try_run_from(&a, &a, &ck).expect("resume");
+        assert_eq!(resumed.stats.total_cycles, full.stats.total_cycles);
+        assert_eq!(resumed.c, full.c);
+    }
+
+    #[test]
+    fn checkpoint_after_completion_is_none() {
+        let eye = Csr::<f64>::identity(8);
+        let accel = Accelerator::new(MatRaptorConfig::small_test());
+        let ck = accel.try_run_to_checkpoint(&eye, &eye, None, u64::MAX).expect("run");
+        assert!(ck.is_none(), "run should drain before u64::MAX cycles");
+    }
+
+    #[test]
+    fn foreign_checkpoint_is_rejected() {
+        let a = gen::uniform(48, 48, 300, 22);
+        let other = gen::uniform(48, 48, 300, 23);
+        let accel = Accelerator::new(MatRaptorConfig::small_test());
+        let ck = accel
+            .try_run_to_checkpoint(&a, &a, None, 64)
+            .expect("checkpointing run")
+            .expect("checkpoint");
+        match accel.try_run_from(&other, &other, &ck) {
+            Err(SimError::CheckpointMismatch { .. }) => {}
+            other => panic!("expected CheckpointMismatch, got {other:?}"),
+        }
     }
 }

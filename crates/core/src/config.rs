@@ -55,6 +55,14 @@ pub struct MatRaptorConfig {
     /// the software Gustavson reference and panics on mismatch. Cheap
     /// relative to simulation; disable only for very large sweeps.
     pub verify_against_reference: bool,
+    /// When true, every run checks the output with the ABFT row-checksum
+    /// invariants (`A·(B·1)` against `C·1` per row, plus a seeded
+    /// Freivalds probe — see `matraptor_sparse::abft`). Far cheaper than
+    /// the full Gustavson reference (`O(nnz)` per check vs a second
+    /// SpGEMM), so it stays on even for large sweeps and is the detection
+    /// path that turns silent corruption into `SimError::OutputCorrupted`
+    /// with the offending row set.
+    pub abft_verification: bool,
     /// Forward-progress watchdog window in accelerator cycles: if no
     /// pipeline component moves a token for this many cycles the run
     /// terminates with `SimError::Deadlock` and a per-lane diagnostic.
@@ -79,6 +87,7 @@ impl Default for MatRaptorConfig {
             mem: HbmConfig::default(),
             double_buffering: true,
             verify_against_reference: true,
+            abft_verification: true,
             watchdog_window: 100_000,
         }
     }

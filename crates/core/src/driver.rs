@@ -9,12 +9,15 @@
 //! programming sequence the paper's gem5 + gcc toolchain used.
 
 use matraptor_mem::HbmConfig;
-use matraptor_sparse::{Csr, SparseError};
+use matraptor_sim::stats::CycleBreakdown;
+use matraptor_sparse::{spgemm, C2sr, Csr, SparseError};
 
-use crate::accel::{Accelerator, RunOutcome};
+use crate::accel::{Accelerator, FailedRun, RunOutcome};
+use crate::checkpoint::Checkpoint;
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::layout::Regions;
+use crate::stats::MatRaptorStats;
 
 /// Accelerator configuration-register file, as the host sees it.
 ///
@@ -149,18 +152,92 @@ impl std::fmt::Display for DriverError {
 
 impl std::error::Error for DriverError {}
 
-/// What [`Driver::launch_with_recovery`] did to finish a run: how many
-/// attempts it took, whether the final attempt ran in the degraded
-/// single-lane configuration, and the fault each failed attempt hit.
+/// How the driver retries a failed run (the recovery-policy ladder).
+///
+/// The ladder, top to bottom: the full machine first; if a *transient*
+/// fault (deadlock or budget exhaustion) killed it and a checkpoint
+/// exists, resume that checkpoint with fault state disarmed; otherwise
+/// rebuild progressively smaller machines (half the lanes, then one
+/// lane); and as the rung of last resort, compute the product in host
+/// software. [`DriverError::AcceleratorFault`] is only returned once the
+/// ladder is exhausted or the fault is one no configuration can outrun
+/// (malformed input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Total attempts allowed, including the initial full-configuration
+    /// run. `1` disables recovery entirely.
+    pub max_attempts: u32,
+    /// Base of the exponential backoff charged before retry `n` (n ≥ 2):
+    /// `base << (n - 2)` simulated accelerator cycles. The wait is
+    /// *recorded* in the report (it would be host wall-clock in silicon),
+    /// not burned in the simulator.
+    pub backoff_base_cycles: u64,
+    /// Take a checkpoint every this many accelerator cycles during the
+    /// first attempt, enabling the resume rung. `None` disables
+    /// checkpointing, so transient faults restart from scratch.
+    pub checkpoint_interval: Option<u64>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 4,
+            backoff_base_cycles: 1_000,
+            checkpoint_interval: Some(2_048),
+        }
+    }
+}
+
+/// One rung of the recovery ladder, as recorded in the report trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// The initial attempt: the full configured machine.
+    Full,
+    /// Resume the last pre-failure checkpoint with faults disarmed.
+    ResumeCheckpoint,
+    /// A rebuilt machine with this many lanes (and matching channels).
+    ReducedLanes {
+        /// Lane (= channel) count of the degraded machine.
+        lanes: usize,
+    },
+    /// Software Gustavson on the host CPU — the rung of last resort.
+    CpuFallback,
+}
+
+/// One entry of the recovery trail: what was tried and how it ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryAttempt {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// The ladder rung this attempt ran.
+    pub action: RecoveryAction,
+    /// Backoff charged before this attempt, in simulated cycles.
+    pub backoff_cycles: u64,
+    /// The fault that ended the attempt, or `None` if it succeeded.
+    pub fault: Option<SimError>,
+}
+
+/// What [`Driver::launch_with_recovery`] did to finish a run: the full
+/// attempt trail, plus summary flags for the common questions (did it
+/// degrade? resume? fall back to software?).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Attempts made, including the one that succeeded (1 = clean run).
     pub attempts: u32,
-    /// Whether the successful attempt used the degraded single-lane,
-    /// single-channel fallback configuration.
+    /// Whether the successful attempt ran a reduced configuration or the
+    /// CPU fallback (checkpoint resumes are *not* degraded — they finish
+    /// on the full machine).
     pub degraded: bool,
     /// The fault returned by each failed attempt, in order.
     pub faults: Vec<SimError>,
+    /// Every attempt in order, each with its rung and outcome.
+    pub trail: Vec<RecoveryAttempt>,
+    /// Total backoff charged across all retries, in simulated cycles.
+    pub backoff_cycles: u64,
+    /// Whether the successful attempt resumed from a checkpoint.
+    pub resumed_from_checkpoint: bool,
+    /// Whether the product was ultimately computed in host software.
+    pub used_cpu_fallback: bool,
 }
 
 impl<'a> Driver<'a> {
@@ -211,20 +288,19 @@ impl<'a> Driver<'a> {
         Ok(outcome)
     }
 
-    /// [`Driver::launch`] with graceful degradation: if the first attempt
-    /// faults with something retryable, the driver reconfigures a
-    /// degraded single-lane, single-channel accelerator and retries once —
-    /// the transient-fault recovery story a real host driver would ship.
+    /// [`Driver::launch`] with the default [`RecoveryPolicy`]: transient
+    /// faults resume from the last checkpoint, persistent faults walk the
+    /// degradation ladder down to a host-software fallback.
     ///
-    /// `plan` injects a fault into the *first* attempt only (a transient
-    /// fault); the retry runs clean hardware.
+    /// `plan` injects a fault into the *first* attempt only (the
+    /// transient-fault model); retries run clean hardware.
     ///
     /// # Errors
     ///
     /// Everything [`Driver::launch`] reports; an [`AcceleratorFault`]
-    /// means the retry chain was exhausted, and its payload is the *last*
-    /// attempt's fault ([`RecoveryReport`] is not returned on failure —
-    /// the earlier faults are the caller's to replay via the plan).
+    /// means the ladder was exhausted (or the fault was malformed input,
+    /// which no rung can outrun), and its payload is the *last* attempt's
+    /// fault.
     ///
     /// [`AcceleratorFault`]: DriverError::AcceleratorFault
     pub fn launch_with_recovery(
@@ -233,36 +309,180 @@ impl<'a> Driver<'a> {
         b: &Csr<f64>,
         plan: Option<&FaultPlan>,
     ) -> Result<(RunOutcome, RecoveryReport), DriverError> {
+        self.launch_with_policy(a, b, plan, &RecoveryPolicy::default())
+    }
+
+    /// [`Driver::launch_with_recovery`] under an explicit policy.
+    ///
+    /// # Errors
+    ///
+    /// As [`Driver::launch_with_recovery`].
+    pub fn launch_with_policy(
+        &mut self,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        plan: Option<&FaultPlan>,
+        policy: &RecoveryPolicy,
+    ) -> Result<(RunOutcome, RecoveryReport), DriverError> {
         self.preflight(a, b)?;
-        let mut faults = Vec::new();
-        match self.accel.try_run_with_faults(a, b, plan) {
-            Ok(outcome) => {
-                self.regs.x0 = 0;
-                return Ok((outcome, RecoveryReport { attempts: 1, degraded: false, faults }));
-            }
-            // Malformed input will fail identically on any configuration;
-            // retrying would just burn cycles.
-            Err(e @ SimError::MalformedInput(_)) => return Err(DriverError::AcceleratorFault(e)),
-            Err(e) => faults.push(e),
-        }
-        // Reconfigure: one lane on one channel sidesteps cross-channel
-        // conflicts and multi-lane coupling — the most conservative
-        // machine that can still finish the job.
-        let mut degraded_cfg = self.accel.config().clone();
-        degraded_cfg.num_lanes = 1;
-        degraded_cfg.mem = HbmConfig { num_channels: 1, ..degraded_cfg.mem };
-        let degraded = match Accelerator::try_new(degraded_cfg) {
-            Ok(acc) => acc,
-            // The degraded shape is invalid for this config family; give
-            // up with the original fault.
-            Err(_) => return Err(DriverError::AcceleratorFault(faults.remove(0))),
+        let mut report = RecoveryReport {
+            attempts: 1,
+            degraded: false,
+            faults: Vec::new(),
+            trail: Vec::new(),
+            backoff_cycles: 0,
+            resumed_from_checkpoint: false,
+            used_cpu_fallback: false,
         };
-        match degraded.try_run(a, b) {
+
+        // Attempt 1: the full machine, with the injected fault (if any)
+        // and periodic checkpoints so a transient failure can resume.
+        let every = policy.checkpoint_interval.unwrap_or(0);
+        let (first_fault, checkpoint) = match self.accel.try_run_with_checkpoints(a, b, plan, every)
+        {
             Ok(outcome) => {
                 self.regs.x0 = 0;
-                Ok((outcome, RecoveryReport { attempts: 2, degraded: true, faults }))
+                report.trail.push(RecoveryAttempt {
+                    attempt: 1,
+                    action: RecoveryAction::Full,
+                    backoff_cycles: 0,
+                    fault: None,
+                });
+                return Ok((outcome, report));
             }
-            Err(e) => Err(DriverError::AcceleratorFault(e)),
+            Err(FailedRun { error, checkpoint }) => (error, checkpoint),
+        };
+        report.trail.push(RecoveryAttempt {
+            attempt: 1,
+            action: RecoveryAction::Full,
+            backoff_cycles: 0,
+            fault: Some(first_fault.clone()),
+        });
+        report.faults.push(first_fault.clone());
+        // Malformed input fails identically on every configuration; the
+        // ladder never retries it.
+        if matches!(first_fault, SimError::MalformedInput(_)) {
+            return Err(DriverError::AcceleratorFault(first_fault));
+        }
+
+        // Build the remaining rungs. A checkpoint resume only makes sense
+        // for faults that kill forward progress without corrupting state
+        // already checkpointed — deadlocks and budget exhaustion.
+        enum Rung {
+            Resume(Box<Checkpoint>),
+            Lanes(usize),
+            Cpu,
+        }
+        let mut rungs: Vec<Rung> = Vec::new();
+        let transient =
+            matches!(first_fault, SimError::Deadlock(_) | SimError::CycleBudgetExceeded { .. });
+        if transient {
+            if let Some(mut ck) = checkpoint {
+                ck.disarm_faults();
+                rungs.push(Rung::Resume(ck));
+            }
+        }
+        let lanes = self.accel.config().num_lanes;
+        if lanes / 2 > 1 {
+            rungs.push(Rung::Lanes(lanes / 2));
+        }
+        if lanes > 1 {
+            rungs.push(Rung::Lanes(1));
+        }
+        rungs.push(Rung::Cpu);
+
+        let mut last_fault = first_fault;
+        for rung in rungs {
+            if report.attempts >= policy.max_attempts {
+                break;
+            }
+            report.attempts += 1;
+            let backoff = policy.backoff_base_cycles << (report.attempts - 2).min(16);
+            report.backoff_cycles += backoff;
+            let (action, result) = match rung {
+                Rung::Resume(ck) => {
+                    (RecoveryAction::ResumeCheckpoint, self.accel.try_run_from(a, b, &ck))
+                }
+                Rung::Lanes(n) => {
+                    let mut cfg = self.accel.config().clone();
+                    cfg.num_lanes = n;
+                    cfg.mem = HbmConfig { num_channels: n, ..cfg.mem };
+                    match Accelerator::try_new(cfg) {
+                        // The degraded retry runs *without* the fault
+                        // plan — the transient-fault model.
+                        Ok(acc) => (RecoveryAction::ReducedLanes { lanes: n }, acc.try_run(a, b)),
+                        Err(_) => {
+                            // The reduced shape is invalid for this
+                            // config family; skip the rung entirely.
+                            report.attempts -= 1;
+                            report.backoff_cycles -= backoff;
+                            continue;
+                        }
+                    }
+                }
+                Rung::Cpu => (RecoveryAction::CpuFallback, Ok(self.cpu_fallback_outcome(a, b))),
+            };
+            match result {
+                Ok(outcome) => {
+                    self.regs.x0 = 0;
+                    report.degraded = matches!(
+                        action,
+                        RecoveryAction::ReducedLanes { .. } | RecoveryAction::CpuFallback
+                    );
+                    report.resumed_from_checkpoint =
+                        matches!(action, RecoveryAction::ResumeCheckpoint);
+                    report.used_cpu_fallback = matches!(action, RecoveryAction::CpuFallback);
+                    report.trail.push(RecoveryAttempt {
+                        attempt: report.attempts,
+                        action,
+                        backoff_cycles: backoff,
+                        fault: None,
+                    });
+                    return Ok((outcome, report));
+                }
+                Err(e) => {
+                    report.trail.push(RecoveryAttempt {
+                        attempt: report.attempts,
+                        action,
+                        backoff_cycles: backoff,
+                        fault: Some(e.clone()),
+                    });
+                    report.faults.push(e.clone());
+                    last_fault = e;
+                }
+            }
+        }
+        Err(DriverError::AcceleratorFault(last_fault))
+    }
+
+    /// The ladder's last rung: the product computed in host software,
+    /// with an honest all-zero cycle/traffic account (the accelerator
+    /// never ran).
+    fn cpu_fallback_outcome(&self, a: &Csr<f64>, b: &Csr<f64>) -> RunOutcome {
+        let c = spgemm::gustavson(a, b);
+        let c2sr = C2sr::from_csr(&c, 1);
+        let multiplies = spgemm::multiply_count(a, b);
+        let cfg = self.accel.config();
+        RunOutcome {
+            c2sr,
+            stats: MatRaptorStats {
+                total_cycles: 0,
+                clock_ghz: cfg.clock_ghz,
+                breakdown: CycleBreakdown::default(),
+                per_pe_breakdown: Vec::new(),
+                multiplies,
+                additions: multiplies.saturating_sub(c.nnz() as u64),
+                bytes_read: 0,
+                bytes_written: 0,
+                traffic_read: 0,
+                traffic_written: 0,
+                per_pe_nnz: vec![a.nnz() as u64],
+                overflow_rows: 0,
+                overflow_padding_entries: 0,
+                phase1_cycles: 0,
+                phase2_cycles: 0,
+            },
+            c,
         }
     }
 
@@ -347,6 +567,34 @@ mod tests {
     }
 
     #[test]
+    fn recovery_resumes_a_transient_stall_from_checkpoint() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let a = gen::uniform(32, 32, 200, 5);
+        let mut cfg = MatRaptorConfig::small_test();
+        cfg.watchdog_window = 2_000;
+        let accel = Accelerator::new(cfg);
+        let mut d = Driver::new(&accel);
+        d.mtx(MtxWrite::ARows(32));
+        d.mtx(MtxWrite::BRows(32));
+        d.mtx(MtxWrite::X0(1));
+        let plan = FaultPlan::sample(FaultKind::ChannelStall, 7, accel.config().num_lanes);
+        // A short checkpoint interval guarantees a checkpoint exists
+        // before the watchdog (window 2000) declares the wedge.
+        let policy = RecoveryPolicy { checkpoint_interval: Some(256), ..RecoveryPolicy::default() };
+        let (outcome, report) =
+            d.launch_with_policy(&a, &a, Some(&plan), &policy).expect("recovered");
+        assert_eq!(report.attempts, 2);
+        assert!(report.resumed_from_checkpoint);
+        assert!(!report.degraded, "a checkpoint resume finishes on the full machine");
+        assert!(matches!(report.faults[0], SimError::Deadlock(_)));
+        assert_eq!(report.trail.len(), 2);
+        assert_eq!(report.trail[1].action, RecoveryAction::ResumeCheckpoint);
+        assert_eq!(report.backoff_cycles, policy.backoff_base_cycles);
+        assert!(outcome.c.approx_eq(&spgemm::gustavson(&a, &a), 1e-9));
+        assert_eq!(d.registers().x0, 0);
+    }
+
+    #[test]
     fn recovery_retries_a_deadlocked_run_in_single_lane_mode() {
         use crate::fault::{FaultKind, FaultPlan};
         let a = gen::uniform(32, 32, 200, 5);
@@ -358,10 +606,20 @@ mod tests {
         d.mtx(MtxWrite::BRows(32));
         d.mtx(MtxWrite::X0(1));
         let plan = FaultPlan::sample(FaultKind::ChannelStall, 7, accel.config().num_lanes);
-        let (outcome, report) = d.launch_with_recovery(&a, &a, Some(&plan)).expect("recovered");
+        // Checkpointing disabled: the resume rung is unavailable, so the
+        // ladder drops to the reduced single-lane machine.
+        let policy = RecoveryPolicy { checkpoint_interval: None, ..RecoveryPolicy::default() };
+        let (outcome, report) =
+            d.launch_with_policy(&a, &a, Some(&plan), &policy).expect("recovered");
         assert_eq!(report.attempts, 2);
         assert!(report.degraded);
+        assert!(!report.resumed_from_checkpoint);
+        assert!(!report.used_cpu_fallback);
         assert!(matches!(report.faults[0], SimError::Deadlock(_)));
+        assert_eq!(report.trail[0].action, RecoveryAction::Full);
+        assert!(matches!(report.trail[0].fault, Some(SimError::Deadlock(_))));
+        assert_eq!(report.trail[1].action, RecoveryAction::ReducedLanes { lanes: 1 });
+        assert_eq!(outcome.stats.per_pe_nnz.len(), 1, "retry ran single-lane");
         assert!(outcome.c.approx_eq(&spgemm::gustavson(&a, &a), 1e-9));
         assert_eq!(d.registers().x0, 0);
     }
@@ -375,8 +633,88 @@ mod tests {
         d.mtx(MtxWrite::BRows(24));
         d.mtx(MtxWrite::X0(1));
         let (outcome, report) = d.launch_with_recovery(&a, &a, None).expect("clean");
-        assert_eq!(report, RecoveryReport { attempts: 1, degraded: false, faults: vec![] });
+        assert_eq!(
+            report,
+            RecoveryReport {
+                attempts: 1,
+                degraded: false,
+                faults: vec![],
+                trail: vec![RecoveryAttempt {
+                    attempt: 1,
+                    action: RecoveryAction::Full,
+                    backoff_cycles: 0,
+                    fault: None,
+                }],
+                backoff_cycles: 0,
+                resumed_from_checkpoint: false,
+                used_cpu_fallback: false,
+            }
+        );
         assert!(outcome.c.approx_eq(&spgemm::gustavson(&a, &a), 1e-9));
+    }
+
+    #[test]
+    fn malformed_input_is_never_retried() {
+        // A 32x40 times 32x32 product is malformed (inner dimensions
+        // disagree). If the ladder retried it, the CPU-fallback rung
+        // would "succeed" — so getting the fault back proves no rung ran.
+        let a = gen::uniform(32, 40, 200, 8);
+        let b = gen::uniform(32, 32, 200, 9);
+        let accel = Accelerator::new(MatRaptorConfig::small_test());
+        let mut d = Driver::new(&accel);
+        d.mtx(MtxWrite::ARows(32));
+        d.mtx(MtxWrite::BRows(32));
+        d.mtx(MtxWrite::X0(1));
+        match d.launch_with_recovery(&a, &b, None) {
+            Err(DriverError::AcceleratorFault(SimError::MalformedInput(_))) => {}
+            other => panic!("expected un-retried MalformedInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_lane_machine_falls_back_to_cpu() {
+        use crate::fault::{FaultKind, FaultPlan};
+        // On a one-lane machine there is no reduced rung, and a forced
+        // queue overflow is not transient — the ladder goes straight to
+        // host software.
+        let a = gen::uniform(32, 32, 220, 6);
+        let mut cfg = MatRaptorConfig::small_test();
+        cfg.num_lanes = 1;
+        cfg.mem = HbmConfig { num_channels: 1, ..cfg.mem };
+        let accel = Accelerator::new(cfg);
+        let mut d = Driver::new(&accel);
+        d.mtx(MtxWrite::ARows(32));
+        d.mtx(MtxWrite::BRows(32));
+        d.mtx(MtxWrite::X0(1));
+        let plan = FaultPlan::sample(FaultKind::QueueOverflowForce, 11, 1);
+        let (outcome, report) = d.launch_with_recovery(&a, &a, Some(&plan)).expect("fell back");
+        assert!(report.used_cpu_fallback);
+        assert!(report.degraded);
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.trail[1].action, RecoveryAction::CpuFallback);
+        assert!(matches!(report.faults[0], SimError::QueueOverflow { .. }));
+        assert_eq!(outcome.stats.total_cycles, 0, "the accelerator never ran");
+        assert!(outcome.c.approx_eq(&spgemm::gustavson(&a, &a), 1e-9));
+    }
+
+    #[test]
+    fn driver_error_display_and_error_trait() {
+        let not_started = DriverError::NotStarted;
+        assert!(not_started.to_string().contains("x0"));
+        let dim = DriverError::DimensionMismatch { register: "a_rows", programmed: 9, actual: 4 };
+        let msg = dim.to_string();
+        assert!(msg.contains("a_rows") && msg.contains('9') && msg.contains('4'));
+        let fault =
+            DriverError::AcceleratorFault(SimError::CycleBudgetExceeded { budget: 10, cycles: 11 });
+        assert!(fault.to_string().contains("accelerator fault"));
+        let invalid = DriverError::InvalidInput(SparseError::NonFiniteValue { row: 0, col: 1 });
+        assert!(invalid.to_string().contains("rejected"));
+        // All variants usable as a trait object (the `Box<dyn Error>`
+        // plumbing downstream tooling relies on).
+        for e in [not_started, dim, fault, invalid] {
+            let boxed: Box<dyn std::error::Error> = Box::new(e);
+            assert!(!boxed.to_string().is_empty());
+        }
     }
 
     #[test]

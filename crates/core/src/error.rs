@@ -48,11 +48,23 @@ pub enum SimError {
         cycles: u64,
     },
     /// The run completed but its output failed an integrity check: the
-    /// C²SR invariants, or the cross-check against the software Gustavson
-    /// reference. This is how silent data corruption (dropped writer
-    /// appends, in-range stream corruption) surfaces.
+    /// C²SR invariants, the ABFT row-checksum verification, or the
+    /// cross-check against the software Gustavson reference. This is how
+    /// silent data corruption (dropped writer appends, in-range stream
+    /// corruption) surfaces.
     OutputCorrupted {
         /// Which integrity check failed.
+        detail: &'static str,
+        /// Output rows implicated by the check, when it can localise the
+        /// damage (the ABFT row checksums can; the structural C²SR check
+        /// and the whole-matrix reference comparison report an empty set).
+        rows: Vec<u32>,
+    },
+    /// A checkpoint was presented for resumption against a different
+    /// configuration or different operand matrices than the run that
+    /// produced it.
+    CheckpointMismatch {
+        /// Which fingerprint disagreed.
         detail: &'static str,
     },
 }
@@ -177,7 +189,16 @@ impl fmt::Display for SimError {
             SimError::CycleBudgetExceeded { budget, cycles } => {
                 write!(f, "simulation did not drain within its budget of {budget} cycles ({cycles} executed)")
             }
-            SimError::OutputCorrupted { detail } => write!(f, "output corrupted: {detail}"),
+            SimError::OutputCorrupted { detail, rows } => {
+                if rows.is_empty() {
+                    write!(f, "output corrupted: {detail}")
+                } else {
+                    write!(f, "output corrupted: {detail} (rows {rows:?})")
+                }
+            }
+            SimError::CheckpointMismatch { detail } => {
+                write!(f, "checkpoint does not match this run: {detail}")
+            }
         }
     }
 }

@@ -232,7 +232,8 @@ mod tests {
 
     #[test]
     fn classification_contract() {
-        let err: Result<RunOutcome, SimError> = Err(SimError::OutputCorrupted { detail: "test" });
+        let err: Result<RunOutcome, SimError> =
+            Err(SimError::OutputCorrupted { detail: "test", rows: vec![3] });
         for kind in FaultKind::ALL {
             assert_eq!(classify(kind, &err), Verdict::Detected);
         }

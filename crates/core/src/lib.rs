@@ -36,16 +36,30 @@
 //!   sorting-queue overflow, dropped writer appends) compiled onto the
 //!   machine by [`Accelerator::try_run_with_faults`];
 //! * [`classify`] maps a faulty run's result to a campaign [`Verdict`]
-//!   (survived / detected / escaped).
+//!   (survived / detected / escaped);
+//! * [`Accelerator::try_run_to_checkpoint`] captures the full machine
+//!   state in a versioned, checksummed [`Checkpoint`] that
+//!   [`Accelerator::try_run_from`] resumes with **bit-identical** cycle
+//!   counts and output values (DESIGN.md §9);
+//! * with `abft_verification` enabled, every finished run is self-checked
+//!   with ABFT row checksums + Freivalds probes
+//!   ([`matraptor_sparse::abft`]), so silent output corruption surfaces
+//!   as [`SimError::OutputCorrupted`] with the offending rows;
+//! * [`Driver::launch_with_recovery`] walks a [`RecoveryPolicy`] ladder —
+//!   resume-from-checkpoint for transient faults, reduced-lane retries,
+//!   CPU fallback — and reports the full attempt trail.
 //!
 //! [`Hbm`]: matraptor_mem::Hbm
 //! [`Accelerator::try_run`]: accel::Accelerator::try_run
 //! [`Accelerator::try_run_with_faults`]: accel::Accelerator::try_run_with_faults
+//! [`Accelerator::try_run_to_checkpoint`]: accel::Accelerator::try_run_to_checkpoint
+//! [`Accelerator::try_run_from`]: accel::Accelerator::try_run_from
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod accel;
+mod checkpoint;
 mod config;
 mod convert;
 mod driver;
@@ -61,12 +75,16 @@ mod stats;
 mod tokens;
 mod writer;
 
-pub use accel::{Accelerator, RunOutcome};
+pub use accel::{Accelerator, FailedRun, RunOutcome};
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use config::MatRaptorConfig;
 pub use convert::{
     conversion_cycles, conversion_cycles_directed, ConversionDirection, ConversionReport,
 };
-pub use driver::{ConfigRegisters, Driver, DriverError, MtxWrite, RecoveryReport};
+pub use driver::{
+    ConfigRegisters, Driver, DriverError, MtxWrite, RecoveryAction, RecoveryAttempt,
+    RecoveryPolicy, RecoveryReport,
+};
 pub use error::{
     ChannelDiagnostic, ConfigError, DeadlockDiagnostic, LaneDiagnostic, MalformedInput, SimError,
 };

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use matraptor_sim::stats::{Counter, CycleBreakdown};
 use matraptor_sim::watchdog::mix_signature;
 
+use crate::checkpoint::{BreakdownState, PeState};
 use crate::config::MatRaptorConfig;
 use crate::layout::MatrixLayout;
 use crate::queue::{QueueSet, VectorMode};
@@ -393,5 +394,62 @@ impl Pe {
         sig = mix_signature(sig, mode);
         let ph2 = self.phase2.map_or(0u64, |p| 1 | (p.set as u64) << 8 | (p.row as u64) << 16);
         mix_signature(sig, ph2)
+    }
+
+    /// Captures all mutable state for a checkpoint. Queue shapes and the
+    /// double-buffering mode are rebuilt by [`Pe::new`] on restore.
+    pub(crate) fn snapshot(&self) -> PeState {
+        PeState {
+            set0: self.sets[0].snapshot(),
+            set1: self.sets[1].snapshot(),
+            fill: self.fill as u64,
+            vec_mode: self.vec_mode,
+            phase2: self.phase2.map(|p| (p.set as u64, p.row)),
+            skipping: self.skipping,
+            products_in_row: self.products_in_row,
+            breakdown: BreakdownState {
+                busy: self.breakdown.busy.get(),
+                merge_stall: self.breakdown.merge_stall.get(),
+                memory_stall: self.breakdown.memory_stall.get(),
+                idle: self.breakdown.idle.get(),
+            },
+            multiplies: self.multiplies.get(),
+            additions: self.additions.get(),
+            overflow_rows: self.overflow_rows.clone(),
+            phase1_cycles: self.phase1_cycles.get(),
+            phase2_cycles: self.phase2_cycles.get(),
+            fault_force_overflow_after: self.fault_force_overflow_after,
+            cpu_fallback: self.cpu_fallback,
+            fatal_overflow: self.fatal_overflow,
+        }
+    }
+
+    /// Restores a snapshot into a freshly constructed PE built from the
+    /// same configuration.
+    pub(crate) fn restore(&mut self, state: &PeState) {
+        self.sets[0].restore(&state.set0);
+        self.sets[1].restore(&state.set1);
+        self.fill = state.fill as usize;
+        self.vec_mode = state.vec_mode;
+        self.phase2 = state.phase2.map(|(set, row)| Phase2 { set: set as usize, row });
+        self.skipping = state.skipping;
+        self.products_in_row = state.products_in_row;
+        self.breakdown = CycleBreakdown::default();
+        self.breakdown.busy.add(state.breakdown.busy);
+        self.breakdown.merge_stall.add(state.breakdown.merge_stall);
+        self.breakdown.memory_stall.add(state.breakdown.memory_stall);
+        self.breakdown.idle.add(state.breakdown.idle);
+        self.multiplies = Counter::default();
+        self.multiplies.add(state.multiplies);
+        self.additions = Counter::default();
+        self.additions.add(state.additions);
+        self.overflow_rows = state.overflow_rows.clone();
+        self.phase1_cycles = Counter::default();
+        self.phase1_cycles.add(state.phase1_cycles);
+        self.phase2_cycles = Counter::default();
+        self.phase2_cycles.add(state.phase2_cycles);
+        self.fault_force_overflow_after = state.fault_force_overflow_after;
+        self.cpu_fallback = state.cpu_fallback;
+        self.fatal_overflow = state.fatal_overflow;
     }
 }

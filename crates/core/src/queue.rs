@@ -58,6 +58,23 @@ impl SortQueue {
     pub(crate) fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Ordered entries front-to-back, for checkpointing.
+    pub(crate) fn entries_snapshot(&self) -> Vec<(u32, f64)> {
+        self.entries.iter().copied().collect()
+    }
+
+    /// Replaces the contents from a checkpoint. The entries came from a
+    /// checksummed snapshot of a queue that enforced the sorted/capacity
+    /// invariants, so they are re-checked only in debug builds.
+    pub(crate) fn restore_entries(&mut self, entries: Vec<(u32, f64)>) {
+        debug_assert!(entries.len() <= self.capacity, "restored queue exceeds capacity");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "restored queue entries out of order"
+        );
+        self.entries = entries.into();
+    }
 }
 
 /// How the PE should absorb the next partial-sum vector.
@@ -173,6 +190,35 @@ impl QueueSet {
         for o in &mut self.occupied {
             *o = false;
         }
+    }
+
+    /// Captures queues, helper index, and occupancy for a checkpoint.
+    pub(crate) fn snapshot(&self) -> crate::checkpoint::QueueSetState {
+        crate::checkpoint::QueueSetState {
+            queues: self.queues.iter().map(SortQueue::entries_snapshot).collect(),
+            helper: self.helper as u64,
+            occupied: self.occupied.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`QueueSet::snapshot`] into a freshly
+    /// constructed set of the same shape.
+    pub(crate) fn restore(&mut self, state: &crate::checkpoint::QueueSetState) {
+        assert_eq!(
+            self.queues.len(),
+            state.queues.len(),
+            "queue set restore: queue count mismatch"
+        );
+        assert_eq!(
+            self.occupied.len(),
+            state.occupied.len(),
+            "queue set restore: occupancy length mismatch"
+        );
+        for (q, entries) in self.queues.iter_mut().zip(&state.queues) {
+            q.restore_entries(entries.clone());
+        }
+        self.helper = state.helper as usize;
+        self.occupied = state.occupied.clone();
     }
 
     /// Drops all state (overflow recovery).

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, VecDeque};
 use matraptor_sim::watchdog::mix_signature;
 use matraptor_sparse::C2sr;
 
+use crate::checkpoint::{SpAlSpanState, SpAlState};
 use crate::config::MatRaptorConfig;
 use crate::layout::{MatrixLayout, INFO_BYTES};
 use crate::port::MemPort;
@@ -239,5 +240,67 @@ impl SpAl {
     #[doc(hidden)]
     pub fn debug_state(&self) -> (usize, usize, usize, usize) {
         (self.in_flight, self.staging.len(), self.data_cursor, self.info_cursor)
+    }
+
+    /// Captures all mutable state for a checkpoint. The lane index, row
+    /// assignment, and budgets are rebuilt by [`SpAl::new`] on restore.
+    pub(crate) fn snapshot(&self) -> SpAlState {
+        SpAlState {
+            info_cursor: self.info_cursor as u64,
+            data_cursor: self.data_cursor as u64,
+            info_ready: self.info_ready.clone(),
+            current_plan: self.current_plan.iter().copied().collect(),
+            entries_issued: self.entries_issued,
+            pending_info: self.pending_info.iter().map(|(&id, &pos)| (id, pos as u64)).collect(),
+            pending_data: self
+                .pending_data
+                .iter()
+                .map(|(&id, span)| {
+                    (
+                        id,
+                        SpAlSpanState {
+                            row_pos: span.row_pos as u64,
+                            first_entry: span.first_entry,
+                            count: span.count,
+                        },
+                    )
+                })
+                .collect(),
+            staging: self.staging.iter().copied().collect(),
+            in_flight: self.in_flight as u64,
+        }
+    }
+
+    /// Restores a snapshot into a freshly constructed loader for the same
+    /// `(lane, config, matrix)` triple.
+    pub(crate) fn restore(&mut self, state: &SpAlState) {
+        assert_eq!(
+            self.info_ready.len(),
+            state.info_ready.len(),
+            "SpAL restore: assigned-row count mismatch"
+        );
+        self.info_cursor = state.info_cursor as usize;
+        self.data_cursor = state.data_cursor as usize;
+        self.info_ready = state.info_ready.clone();
+        self.current_plan = state.current_plan.iter().copied().collect();
+        self.entries_issued = state.entries_issued;
+        self.pending_info =
+            state.pending_info.iter().map(|&(id, pos)| (id, pos as usize)).collect();
+        self.pending_data = state
+            .pending_data
+            .iter()
+            .map(|(id, span)| {
+                (
+                    *id,
+                    DataSpan {
+                        row_pos: span.row_pos as usize,
+                        first_entry: span.first_entry,
+                        count: span.count,
+                    },
+                )
+            })
+            .collect();
+        self.staging = state.staging.iter().copied().collect();
+        self.in_flight = state.in_flight as usize;
     }
 }

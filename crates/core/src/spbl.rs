@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, VecDeque};
 use matraptor_sim::watchdog::mix_signature;
 use matraptor_sparse::C2sr;
 
+use crate::checkpoint::{JobState, SpBlState};
 use crate::config::MatRaptorConfig;
 use crate::layout::{MatrixLayout, INFO_BYTES};
 use crate::port::MemPort;
@@ -337,5 +338,75 @@ impl SpBl {
     /// `(jobs, in_flight, staging)`.
     pub(crate) fn occupancy(&self) -> (usize, usize, usize) {
         (self.jobs.len(), self.in_flight, self.staging.len())
+    }
+
+    /// Captures all mutable state for a checkpoint. Budgets and window
+    /// sizes are rebuilt by [`SpBl::new`] on restore.
+    pub(crate) fn snapshot(&self) -> SpBlState {
+        SpBlState {
+            jobs: self
+                .jobs
+                .iter()
+                .map(|j| JobState {
+                    seq: j.seq,
+                    is_fetch: j.kind == JobKind::Fetch,
+                    b_row: j.b_row,
+                    a_val: j.a_val,
+                    out_row: j.out_row,
+                    last_in_row: j.last_in_row,
+                    info_requested: j.info_requested,
+                    info_ready: j.info_ready,
+                    plan: j.plan.as_ref().map(|p| p.iter().copied().collect()),
+                    len: j.len,
+                    ready_entries: j.ready_entries,
+                    drained_entries: j.drained_entries,
+                })
+                .collect(),
+            next_seq: self.next_seq,
+            pending_info: self.pending_info.iter().map(|(&id, &seq)| (id, seq)).collect(),
+            pending_data: self
+                .pending_data
+                .iter()
+                .map(|(&id, span)| (id, span.job_seq, span.count))
+                .collect(),
+            staging: self.staging.iter().copied().collect(),
+            in_flight: self.in_flight as u64,
+            blocked: self.blocked,
+            malformed: self.malformed,
+        }
+    }
+
+    /// Restores a snapshot into a freshly constructed loader built from
+    /// the same configuration.
+    pub(crate) fn restore(&mut self, state: &SpBlState) {
+        self.jobs = state
+            .jobs
+            .iter()
+            .map(|j| Job {
+                seq: j.seq,
+                kind: if j.is_fetch { JobKind::Fetch } else { JobKind::EmptyRow },
+                b_row: j.b_row,
+                a_val: j.a_val,
+                out_row: j.out_row,
+                last_in_row: j.last_in_row,
+                info_requested: j.info_requested,
+                info_ready: j.info_ready,
+                plan: j.plan.as_ref().map(|p| p.iter().copied().collect()),
+                len: j.len,
+                ready_entries: j.ready_entries,
+                drained_entries: j.drained_entries,
+            })
+            .collect();
+        self.next_seq = state.next_seq;
+        self.pending_info = state.pending_info.iter().copied().collect();
+        self.pending_data = state
+            .pending_data
+            .iter()
+            .map(|&(id, job_seq, count)| (id, DataSpan { job_seq, count }))
+            .collect();
+        self.staging = state.staging.iter().copied().collect();
+        self.in_flight = state.in_flight as usize;
+        self.blocked = state.blocked;
+        self.malformed = state.malformed;
     }
 }

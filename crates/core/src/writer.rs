@@ -4,12 +4,13 @@ use std::collections::{BTreeSet, VecDeque};
 
 use matraptor_sim::watchdog::mix_signature;
 
+use crate::checkpoint::WriterState;
 use crate::config::MatRaptorConfig;
 use crate::layout::{MatrixLayout, INFO_BYTES};
 use crate::port::MemPort;
 
 /// A finished output row held functionally until the run completes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct FinishedRow {
     pub row: u32,
     pub cols: Vec<u32>,
@@ -189,5 +190,39 @@ impl Writer {
     /// Occupancy snapshot for deadlock diagnostics: `(queued, pending)`.
     pub(crate) fn occupancy(&self) -> (usize, usize) {
         (self.queue.len(), self.pending.len())
+    }
+
+    /// Captures all mutable state for a checkpoint. The lane binding and
+    /// region base are rebuilt by [`Writer::new`] on restore.
+    pub(crate) fn snapshot(&self) -> WriterState {
+        WriterState {
+            local_cursor: self.local_cursor,
+            buffered_bytes: self.buffered_bytes,
+            queue: self.queue.iter().copied().collect(),
+            pending: self.pending.iter().copied().collect(),
+            cur_row: self.cur_row,
+            cur_cols: self.cur_cols.clone(),
+            cur_vals: self.cur_vals.clone(),
+            finished: self.finished.clone(),
+            entries_pushed: self.entries_pushed,
+            fault_drop_append: self.fault_drop_append,
+            dropped_appends: self.dropped_appends,
+        }
+    }
+
+    /// Restores a snapshot into a freshly constructed writer for the same
+    /// `(lane, config, layout)` triple.
+    pub(crate) fn restore(&mut self, state: &WriterState) {
+        self.local_cursor = state.local_cursor;
+        self.buffered_bytes = state.buffered_bytes;
+        self.queue = state.queue.iter().copied().collect();
+        self.pending = state.pending.iter().copied().collect();
+        self.cur_row = state.cur_row;
+        self.cur_cols = state.cur_cols.clone();
+        self.cur_vals = state.cur_vals.clone();
+        self.finished = state.finished.clone();
+        self.entries_pushed = state.entries_pushed;
+        self.fault_drop_append = state.fault_drop_append;
+        self.dropped_appends = state.dropped_appends;
     }
 }

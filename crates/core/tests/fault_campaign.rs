@@ -166,6 +166,64 @@ fn corrupted_stream_is_rejected_at_the_spbl_boundary() {
     }
 }
 
+/// ABFT alone (no full Gustavson cross-check) detects silent data
+/// corruption, and localises it: a dropped writer append surfaces as
+/// `OutputCorrupted` with a non-empty offending-row set.
+#[test]
+fn abft_catches_dropped_write_without_the_reference_check() {
+    let (a, b) = test_matrices();
+    let mut cfg = campaign_config();
+    cfg.verify_against_reference = false;
+    cfg.abft_verification = true;
+    let lanes = cfg.num_lanes;
+    let accel = Accelerator::new(cfg);
+    let mut localised = 0;
+    for seed in 0..4u64 {
+        let plan = FaultPlan::sample(FaultKind::DroppedWrite, seed, lanes);
+        match accel.try_run_with_faults(&a, &b, Some(&plan)) {
+            Err(SimError::OutputCorrupted { rows, .. }) => {
+                assert!(!rows.is_empty(), "ABFT must name the corrupted rows");
+                assert!(rows.iter().all(|&r| (r as usize) < a.rows()));
+                localised += 1;
+            }
+            Err(SimError::Deadlock(_)) => {} // a dropped metadata write can wedge the drain
+            other => panic!("expected localised OutputCorrupted, got {other:?}"),
+        }
+    }
+    assert!(localised >= 1, "at least one seed must reach the ABFT check");
+}
+
+/// The hole ABFT closes: with *all* output verification disabled, silent
+/// corruption kinds complete "successfully" with a wrong answer — the
+/// escape the strict campaign gate now forbids.
+#[test]
+fn silent_corruption_escapes_without_any_verification() {
+    let (a, b) = test_matrices();
+    let mut cfg = campaign_config();
+    cfg.verify_against_reference = false;
+    cfg.abft_verification = false;
+    let lanes = cfg.num_lanes;
+    let accel = Accelerator::new(cfg);
+    let reference = spgemm::gustavson(&a, &b);
+    let mut escapes = 0;
+    for kind in [FaultKind::DroppedWrite, FaultKind::StreamTruncation] {
+        for seed in 0..4u64 {
+            let plan = FaultPlan::sample(kind, seed, lanes);
+            let result = accel.try_run_with_faults(&a, &b, Some(&plan));
+            if classify(kind, &result) == Verdict::Escaped {
+                let outcome = result.expect("an escape is an Ok result");
+                assert!(
+                    !outcome.c.approx_eq(&reference, 1e-9),
+                    "{} seed {seed}: escaped run should carry a wrong answer",
+                    kind.name()
+                );
+                escapes += 1;
+            }
+        }
+    }
+    assert!(escapes >= 1, "without verification these kinds must escape");
+}
+
 /// Faulty runs still verify their output: a silently dropped writer
 /// append surfaces as `OutputCorrupted`, not as a wrong answer.
 #[test]

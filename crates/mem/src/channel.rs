@@ -3,6 +3,7 @@
 use matraptor_sim::stats::Counter;
 use matraptor_sim::{Cycle, Fifo};
 
+use crate::snapshot::{BankState, ChannelState, ChannelStatsState, FragmentState};
 use crate::{HbmConfig, MemKind, RequestId};
 
 /// One burst-sized piece of a memory request, bound to a single channel.
@@ -213,6 +214,79 @@ impl Channel {
     pub(crate) fn stats(&self) -> ChannelStats {
         self.stats
     }
+
+    /// Captures the full mutable state as plain data.
+    pub(crate) fn snapshot(&self) -> ChannelState {
+        let (items, queue_pushed) = self.queue.snapshot();
+        ChannelState {
+            queue: items.iter().map(frag_state).collect(),
+            queue_pushed,
+            in_service: self.in_service.as_ref().map(|(f, done)| (frag_state(f), done.as_u64())),
+            banks: self
+                .banks
+                .iter()
+                .map(|b| BankState {
+                    open_row: b.open_row,
+                    prep_row: b.prep_row,
+                    ready_at: b.ready_at.as_u64(),
+                })
+                .collect(),
+            stats: ChannelStatsState {
+                busy_cycles: self.stats.busy_cycles.get(),
+                read_bytes: self.stats.read_bytes.get(),
+                write_bytes: self.stats.write_bytes.get(),
+                bursts: self.stats.bursts.get(),
+                read_bursts: self.stats.read_bursts.get(),
+                write_bursts: self.stats.write_bursts.get(),
+                row_misses: self.stats.row_misses.get(),
+            },
+        }
+    }
+
+    /// Rebuilds a channel from a [`Channel::snapshot`] capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capture is inconsistent with `cfg` (queue deeper
+    /// than `cfg.queue_depth`, bank count mismatch).
+    pub(crate) fn restore(cfg: &HbmConfig, state: &ChannelState) -> Self {
+        assert_eq!(
+            state.banks.len(),
+            cfg.banks_per_channel,
+            "channel restore: bank count mismatch"
+        );
+        let items: Vec<Fragment> = state.queue.iter().map(fragment_of).collect();
+        let mut stats = ChannelStats::default();
+        stats.busy_cycles.add(state.stats.busy_cycles);
+        stats.read_bytes.add(state.stats.read_bytes);
+        stats.write_bytes.add(state.stats.write_bytes);
+        stats.bursts.add(state.stats.bursts);
+        stats.read_bursts.add(state.stats.read_bursts);
+        stats.write_bursts.add(state.stats.write_bursts);
+        stats.row_misses.add(state.stats.row_misses);
+        Channel {
+            queue: Fifo::from_snapshot(cfg.queue_depth, items, state.queue_pushed),
+            in_service: state.in_service.as_ref().map(|(f, done)| (fragment_of(f), Cycle(*done))),
+            banks: state
+                .banks
+                .iter()
+                .map(|b| Bank {
+                    open_row: b.open_row,
+                    prep_row: b.prep_row,
+                    ready_at: Cycle(b.ready_at),
+                })
+                .collect(),
+            stats,
+        }
+    }
+}
+
+fn frag_state(f: &Fragment) -> FragmentState {
+    FragmentState { req_id: f.req_id.0, kind: f.kind, addr: f.addr, bytes: f.bytes }
+}
+
+fn fragment_of(f: &FragmentState) -> Fragment {
+    Fragment { req_id: RequestId(f.req_id), kind: f.kind, addr: f.addr, bytes: f.bytes }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use matraptor_sim::{Cycle, LatencyPipe};
 
 use crate::channel::{Channel, Fragment};
 use crate::fault::{FaultCounters, MemFaults};
+use crate::snapshot::{HbmState, PendingState, ResponseState};
 use crate::{ChannelStats, HbmConfig, MemKind, MemRequest, MemResponse, RequestId};
 
 /// Aggregate statistics across all channels.
@@ -265,6 +266,92 @@ impl Hbm {
         self.channels.iter().map(Channel::stats).collect()
     }
 
+    /// Captures the full mutable device state as plain data for
+    /// checkpointing. The configuration is *not* captured — restore with
+    /// [`Hbm::restore`] against the same [`HbmConfig`].
+    pub fn snapshot(&self) -> HbmState {
+        HbmState {
+            channels: self.channels.iter().map(Channel::snapshot).collect(),
+            pending: self
+                .pending
+                .iter()
+                .map(|(id, p)| PendingState {
+                    id: id.0,
+                    kind: p.kind,
+                    bytes: p.bytes,
+                    fragments_left: p.fragments_left,
+                    submitted: p.submitted.as_u64(),
+                })
+                .collect(),
+            responses: self
+                .response_pipe
+                .snapshot()
+                .into_iter()
+                .map(|(ready, r)| ResponseState {
+                    ready_at: ready.as_u64(),
+                    id: r.id.0,
+                    kind: r.kind,
+                    bytes: r.bytes,
+                })
+                .collect(),
+            completed_requests: self.completed_requests,
+            latency_sum: self.latency_sum,
+            faults: self.faults.clone(),
+            fault_counters: self.fault_counters,
+        }
+    }
+
+    /// Rebuilds a device from a [`Hbm::snapshot`] capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capture is inconsistent with `cfg` (channel or bank
+    /// count mismatch, queue deeper than configured) — a checkpoint is
+    /// only meaningful against the configuration that produced it.
+    pub fn restore(cfg: HbmConfig, state: &HbmState) -> Self {
+        cfg.validate();
+        assert_eq!(state.channels.len(), cfg.num_channels, "HBM restore: channel count mismatch");
+        let channels = state.channels.iter().map(|c| Channel::restore(&cfg, c)).collect();
+        let pending = state
+            .pending
+            .iter()
+            .map(|p| {
+                (
+                    RequestId(p.id),
+                    PendingRequest {
+                        kind: p.kind,
+                        bytes: p.bytes,
+                        fragments_left: p.fragments_left,
+                        submitted: Cycle(p.submitted),
+                    },
+                )
+            })
+            .collect();
+        let response_pipe = LatencyPipe::from_snapshot(
+            cfg.access_latency,
+            state
+                .responses
+                .iter()
+                .map(|r| {
+                    (
+                        Cycle(r.ready_at),
+                        MemResponse { id: RequestId(r.id), kind: r.kind, bytes: r.bytes },
+                    )
+                })
+                .collect(),
+        );
+        Hbm {
+            cfg,
+            channels,
+            pending,
+            response_pipe,
+            completed_requests: state.completed_requests,
+            latency_sum: state.latency_sum,
+            faults: state.faults.clone(),
+            fault_counters: state.fault_counters,
+        }
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> HbmStats {
         let mut s = HbmStats::default();
@@ -389,6 +476,47 @@ mod tests {
         assert!(hbm.submit(Cycle(0), MemRequest::read(1, 0, 64)));
         // Same channel, queue full (depth 1, first not yet serviced).
         assert!(!hbm.submit(Cycle(0), MemRequest::read(2, 512, 64)));
+    }
+
+    #[test]
+    fn mid_flight_snapshot_restores_to_identical_completions() {
+        // Drive a device partway through a batch of requests, snapshot,
+        // and check the restored copy completes the remaining work on
+        // exactly the same cycles as the original.
+        let cfg = HbmConfig::default();
+        let mut hbm = Hbm::new(cfg.clone());
+        for i in 0..8u64 {
+            assert!(hbm.submit(Cycle(0), MemRequest::read(i, i * 24, 24)));
+        }
+        for t in 0..10u64 {
+            hbm.tick(Cycle(t));
+            let _ = hbm.pop_response(Cycle(t));
+        }
+        let state = hbm.snapshot();
+        let mut twin = Hbm::restore(cfg, &state);
+        assert_eq!(twin.snapshot(), state, "restore must round-trip");
+        let (orig, t1) = run_until_idle_from(&mut hbm, 10, 1000);
+        let (copy, t2) = run_until_idle_from(&mut twin, 10, 1000);
+        assert_eq!(orig, copy, "completion schedule must be bit-identical");
+        assert_eq!(t1, t2);
+        assert_eq!(hbm.stats(), twin.stats());
+    }
+
+    fn run_until_idle_from(hbm: &mut Hbm, from: u64, limit: u64) -> (Vec<(u64, MemResponse)>, u64) {
+        let mut responses = Vec::new();
+        let mut t = from;
+        while t < limit {
+            let now = Cycle(t);
+            hbm.tick(now);
+            while let Some(r) = hbm.pop_response(now) {
+                responses.push((t, r));
+            }
+            if hbm.is_idle() {
+                break;
+            }
+            t += 1;
+        }
+        (responses, t)
     }
 
     #[test]

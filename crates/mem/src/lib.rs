@@ -34,6 +34,7 @@ pub mod fault;
 mod hbm;
 pub mod patterns;
 mod request;
+pub mod snapshot;
 
 pub use channel::ChannelStats;
 pub use config::HbmConfig;

@@ -1,0 +1,126 @@
+//! Plain-data snapshots of the HBM device for checkpoint/restore.
+//!
+//! Long fault campaigns and production-scale simulations need to survive
+//! interruption: the accelerator checkpoints its full machine state and
+//! resumes later with **bit-identical** behaviour. This module is the
+//! memory system's contribution — every mutable field of [`crate::Hbm`]
+//! (per-channel queues, the burst in service, per-bank row-buffer state,
+//! in-flight request bookkeeping, the response delay line, statistics and
+//! fault schedule) flattened into `std`-only plain data that a caller can
+//! serialize however it likes.
+//!
+//! The configuration is deliberately *not* captured: a checkpoint is only
+//! meaningful against the same [`crate::HbmConfig`], and the accelerator's
+//! checkpoint layer fingerprints the config separately. Restore with
+//! [`crate::Hbm::restore`].
+
+use crate::fault::{FaultCounters, MemFaults};
+use crate::MemKind;
+
+/// One queued burst fragment (see the channel model), as plain data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentState {
+    /// Identifier of the request this fragment belongs to.
+    pub req_id: u64,
+    /// Read or write.
+    pub kind: MemKind,
+    /// Flat byte address of the fragment start.
+    pub addr: u64,
+    /// Useful bytes this fragment carries.
+    pub bytes: u32,
+}
+
+/// One bank's row-buffer state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankState {
+    /// Row currently open, if any.
+    pub open_row: Option<u64>,
+    /// Row being activated, if any.
+    pub prep_row: Option<u64>,
+    /// Memory cycle at which the bank finishes its current activity.
+    pub ready_at: u64,
+}
+
+/// One channel's statistics counters, as raw values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStatsState {
+    /// See [`crate::ChannelStats::busy_cycles`].
+    pub busy_cycles: u64,
+    /// See [`crate::ChannelStats::read_bytes`].
+    pub read_bytes: u64,
+    /// See [`crate::ChannelStats::write_bytes`].
+    pub write_bytes: u64,
+    /// See [`crate::ChannelStats::bursts`].
+    pub bursts: u64,
+    /// See [`crate::ChannelStats::read_bursts`].
+    pub read_bursts: u64,
+    /// See [`crate::ChannelStats::write_bursts`].
+    pub write_bursts: u64,
+    /// See [`crate::ChannelStats::row_misses`].
+    pub row_misses: u64,
+}
+
+/// Full mutable state of one channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelState {
+    /// Queued fragments, oldest first.
+    pub queue: Vec<FragmentState>,
+    /// Lifetime push count of the queue FIFO.
+    pub queue_pushed: u64,
+    /// Fragment on the bus and the memory cycle its burst completes.
+    pub in_service: Option<(FragmentState, u64)>,
+    /// Per-bank row-buffer state, in bank order.
+    pub banks: Vec<BankState>,
+    /// Accumulated statistics.
+    pub stats: ChannelStatsState,
+}
+
+/// Bookkeeping for one in-flight request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingState {
+    /// Request identifier.
+    pub id: u64,
+    /// Read or write.
+    pub kind: MemKind,
+    /// Original request size in bytes.
+    pub bytes: u32,
+    /// Burst fragments still outstanding.
+    pub fragments_left: u32,
+    /// Memory cycle the request was submitted.
+    pub submitted: u64,
+}
+
+/// One response waiting out the access latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseState {
+    /// Memory cycle at which the response matures.
+    pub ready_at: u64,
+    /// Request identifier echoed in the response.
+    pub id: u64,
+    /// Read or write (echoed).
+    pub kind: MemKind,
+    /// Useful bytes transferred (echoed).
+    pub bytes: u32,
+}
+
+/// Full mutable state of the HBM device, captured by
+/// [`crate::Hbm::snapshot`] and consumed by [`crate::Hbm::restore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HbmState {
+    /// Per-channel state, in channel order.
+    pub channels: Vec<ChannelState>,
+    /// In-flight request bookkeeping, sorted by request id.
+    pub pending: Vec<PendingState>,
+    /// Responses in the access-latency delay line, oldest first.
+    pub responses: Vec<ResponseState>,
+    /// Lifetime count of completed requests.
+    pub completed_requests: u64,
+    /// Sum of request latencies.
+    pub latency_sum: u64,
+    /// Installed fault schedule. A restore path that models "the
+    /// transient fault has passed" may replace this with
+    /// [`MemFaults::none`] before rebuilding the device.
+    pub faults: MemFaults,
+    /// Fault-effect counters.
+    pub fault_counters: FaultCounters,
+}

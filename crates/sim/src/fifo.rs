@@ -98,6 +98,27 @@ impl<T> Fifo<T> {
     }
 }
 
+impl<T: Clone> Fifo<T> {
+    /// Captures the queue contents (oldest first) and the lifetime push
+    /// count as plain data, for checkpointing. Rebuild an identical FIFO
+    /// with [`Fifo::from_snapshot`].
+    pub fn snapshot(&self) -> (Vec<T>, u64) {
+        (self.items.iter().cloned().collect(), self.total_pushed)
+    }
+
+    /// Reconstructs a FIFO from a [`Fifo::snapshot`] capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `items.len() > capacity` — a snapshot
+    /// can only have come from a FIFO that respected its own bound.
+    pub fn from_snapshot(capacity: usize, items: Vec<T>, total_pushed: u64) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        assert!(items.len() <= capacity, "snapshot exceeds FIFO capacity");
+        Fifo { items: items.into(), capacity, total_pushed }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,6 +80,30 @@ impl<T> LatencyPipe<T> {
     }
 }
 
+impl<T: Clone> LatencyPipe<T> {
+    /// Captures the in-flight items as `(maturity_cycle, item)` pairs,
+    /// oldest first, for checkpointing. Note the stored cycle is the
+    /// *maturity* time (`push` time plus latency), so
+    /// [`LatencyPipe::from_snapshot`] restores it verbatim.
+    pub fn snapshot(&self) -> Vec<(Cycle, T)> {
+        self.in_flight.iter().cloned().collect()
+    }
+
+    /// Reconstructs a pipe from a [`LatencyPipe::snapshot`] capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the entries are not in non-decreasing
+    /// maturity order — a valid snapshot always is.
+    pub fn from_snapshot(latency: u64, in_flight: Vec<(Cycle, T)>) -> Self {
+        debug_assert!(
+            in_flight.windows(2).all(|w| w[0].0 <= w[1].0),
+            "latency pipe snapshot out of order"
+        );
+        LatencyPipe { latency, in_flight: in_flight.into() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,4 +36,4 @@ pub mod watchdog;
 pub use clock::Cycle;
 pub use fifo::Fifo;
 pub use latency::LatencyPipe;
-pub use watchdog::{SourceId, SourceReport, Watchdog, WatchdogReport};
+pub use watchdog::{SourceId, SourceReport, SourceState, Watchdog, WatchdogReport};

@@ -55,6 +55,22 @@ pub fn mix_signature(acc: u64, value: u64) -> u64 {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SourceId(usize);
 
+/// Plain-data capture of one source's progress state, for checkpointing.
+///
+/// The source *name* is deliberately absent: names are `&'static str`
+/// handed over at registration, so a restore re-registers sources in the
+/// original order and [`Watchdog::import_state`] refills only the mutable
+/// fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceState {
+    /// The signature last reported by this source.
+    pub last_signature: u64,
+    /// Last cycle the signature changed.
+    pub last_progress: Cycle,
+    /// Whether the source has been observed at least once.
+    pub observed: bool,
+}
+
 /// Per-source progress state.
 #[derive(Debug, Clone)]
 struct Source {
@@ -144,6 +160,39 @@ impl Watchdog {
     /// Last cycle any source made progress.
     pub fn last_progress(&self) -> Cycle {
         self.last_global_progress
+    }
+
+    /// Exports the mutable progress state (per source, in registration
+    /// order, plus the global last-progress cycle) for checkpointing.
+    pub fn export_state(&self) -> (Cycle, Vec<SourceState>) {
+        (
+            self.last_global_progress,
+            self.sources
+                .iter()
+                .map(|s| SourceState {
+                    last_signature: s.last_signature,
+                    last_progress: s.last_progress,
+                    observed: s.observed,
+                })
+                .collect(),
+        )
+    }
+
+    /// Restores state captured by [`Watchdog::export_state`] into a
+    /// watchdog whose sources were re-registered in the original order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of registered sources does not match the
+    /// capture — the restore path must rebuild the exact topology.
+    pub fn import_state(&mut self, last_global_progress: Cycle, states: &[SourceState]) {
+        assert_eq!(self.sources.len(), states.len(), "watchdog restore: source count mismatch");
+        self.last_global_progress = last_global_progress;
+        for (s, st) in self.sources.iter_mut().zip(states) {
+            s.last_signature = st.last_signature;
+            s.last_progress = st.last_progress;
+            s.observed = st.observed;
+        }
     }
 
     /// Returns a report if no source has made progress for more than the

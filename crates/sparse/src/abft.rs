@@ -1,0 +1,278 @@
+//! Algorithm-based fault tolerance (ABFT) checks for SpGEMM outputs.
+//!
+//! Accelerator fault campaigns need a cheap way to decide whether a run's
+//! output `C = A·B` is *actually* the product — without paying for a
+//! second full SpGEMM the way `verify_against_reference` does. ABFT
+//! (Huang & Abraham's checksum technique, adapted to sparse row-wise
+//! products) exploits linearity:
+//!
+//! * **Row checksums** — with `s = B·1` (the row sums of `B`), every
+//!   correct output row satisfies `Σⱼ c_ij = Σₖ a_ik · s_k`. Computing
+//!   both sides costs `O(nnz(A) + nnz(B) + nnz(C))` total and localises
+//!   a corruption to the exact output row.
+//! * **Freivalds probes** — a seeded random vector `x` must satisfy
+//!   `A·(B·x) = C·x` row by row. A single probe catches corruptions that
+//!   happen to preserve a row's sum (e.g. two compensating errors, or a
+//!   value moved between columns of the same row); `k` probes drive the
+//!   false-negative probability below `2⁻ᵏ`-ish for adversarial errors
+//!   and far lower for the fault models simulated here.
+//!
+//! Both checks compare in floating point, so they use a *relative*
+//! tolerance scaled by `|A|·(|B|·1)` (resp. `|A|·|B·x|` + `|C|·|x|`) —
+//! the natural magnitude of accumulated rounding — rather than an
+//! absolute epsilon. See DESIGN.md §9 for the false-negative analysis.
+//!
+//! # Example
+//!
+//! ```rust
+//! use matraptor_sparse::{abft, gen, spgemm};
+//!
+//! let a = gen::uniform(40, 40, 300, 1);
+//! let c = spgemm::gustavson(&a, &a);
+//! let report = abft::verify(&a, &a, &c, &abft::AbftOptions::default());
+//! assert!(report.is_ok());
+//! ```
+
+use crate::rng::ChaCha8Rng;
+use crate::Csr;
+
+/// Parameters of an ABFT verification pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbftOptions {
+    /// Relative tolerance scale. A row fails when the checksum residual
+    /// exceeds `tolerance * (1 + bound + |actual|)`, where `bound` is the
+    /// row's absolute-value checksum (the natural rounding magnitude).
+    pub tolerance: f64,
+    /// Number of independent Freivalds probes. `0` disables the probe
+    /// pass and leaves only the row-sum checksums.
+    pub freivalds_probes: usize,
+    /// Seed for the probe vectors. Verification is deterministic in this
+    /// seed — replays flag the same rows.
+    pub seed: u64,
+}
+
+impl Default for AbftOptions {
+    fn default() -> Self {
+        AbftOptions { tolerance: 1e-9, freivalds_probes: 1, seed: 0xAB_F7 }
+    }
+}
+
+/// Outcome of an ABFT verification pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbftReport {
+    /// Whether the three matrices even have compatible shapes. When
+    /// false no row checks ran — the output is wrong at the shape level.
+    pub dims_ok: bool,
+    /// Output rows checked (equals `c.rows()` when `dims_ok`).
+    pub checked_rows: usize,
+    /// Rows whose `A·(B·1)` checksum disagreed with `C·1`.
+    pub row_checksum_failures: Vec<u32>,
+    /// Rows that failed at least one Freivalds probe.
+    pub freivalds_failures: Vec<u32>,
+}
+
+impl AbftReport {
+    /// Whether the output passed every check.
+    pub fn is_ok(&self) -> bool {
+        self.dims_ok && self.row_checksum_failures.is_empty() && self.freivalds_failures.is_empty()
+    }
+
+    /// Sorted, deduplicated union of all implicated rows.
+    pub fn offending_rows(&self) -> Vec<u32> {
+        let mut rows: Vec<u32> = self
+            .row_checksum_failures
+            .iter()
+            .chain(self.freivalds_failures.iter())
+            .copied()
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+}
+
+/// Verifies `c == a * b` with row checksums plus seeded Freivalds probes.
+///
+/// Cost is `O(probes · (nnz(A) + nnz(B) + nnz(C)))` — linear in the
+/// operands, with no intermediate product materialised.
+pub fn verify(a: &Csr<f64>, b: &Csr<f64>, c: &Csr<f64>, opts: &AbftOptions) -> AbftReport {
+    if a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols() {
+        return AbftReport {
+            dims_ok: false,
+            checked_rows: 0,
+            row_checksum_failures: Vec::new(),
+            freivalds_failures: Vec::new(),
+        };
+    }
+
+    // Row-sum checksum: s = B·1 and its absolute companion t = |B|·1.
+    let mut s = vec![0.0f64; b.rows()];
+    let mut t = vec![0.0f64; b.rows()];
+    for k in 0..b.rows() {
+        for (_, v) in b.row(k) {
+            s[k] += v;
+            t[k] += v.abs();
+        }
+    }
+    let mut row_checksum_failures = Vec::new();
+    for i in 0..a.rows() {
+        let mut expected = 0.0f64;
+        let mut bound = 0.0f64;
+        for (k, av) in a.row(i) {
+            expected += av * s[k as usize];
+            bound += av.abs() * t[k as usize];
+        }
+        let mut actual = 0.0f64;
+        for (_, cv) in c.row(i) {
+            actual += cv;
+        }
+        if (expected - actual).abs() > opts.tolerance * (1.0 + bound + actual.abs()) {
+            row_checksum_failures.push(i as u32);
+        }
+    }
+
+    // Freivalds probes: A·(B·x) must equal C·x row by row.
+    let mut freivalds_failures = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    for _ in 0..opts.freivalds_probes {
+        let x: Vec<f64> = (0..b.cols()).map(|_| rng.gen_f64() * 2.0 - 1.0).collect();
+        let mut y = vec![0.0f64; b.rows()];
+        let mut y_abs = vec![0.0f64; b.rows()];
+        for k in 0..b.rows() {
+            for (j, v) in b.row(k) {
+                y[k] += v * x[j as usize];
+                y_abs[k] += v.abs() * x[j as usize].abs();
+            }
+        }
+        for i in 0..a.rows() {
+            let mut lhs = 0.0f64;
+            let mut bound = 0.0f64;
+            for (k, av) in a.row(i) {
+                lhs += av * y[k as usize];
+                bound += av.abs() * y_abs[k as usize];
+            }
+            let mut rhs = 0.0f64;
+            for (j, cv) in c.row(i) {
+                rhs += cv * x[j as usize];
+                bound += cv.abs() * x[j as usize].abs();
+            }
+            if (lhs - rhs).abs() > opts.tolerance * (1.0 + bound) {
+                freivalds_failures.push(i as u32);
+            }
+        }
+    }
+    freivalds_failures.sort_unstable();
+    freivalds_failures.dedup();
+
+    AbftReport { dims_ok: true, checked_rows: c.rows(), row_checksum_failures, freivalds_failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, spgemm};
+
+    fn product() -> (Csr<f64>, Csr<f64>, Csr<f64>) {
+        let a = gen::uniform(48, 48, 400, 3);
+        let b = gen::uniform(48, 48, 380, 4);
+        let c = spgemm::gustavson(&a, &b);
+        (a, b, c)
+    }
+
+    #[test]
+    fn correct_product_passes() {
+        let (a, b, c) = product();
+        let report = verify(&a, &b, &c, &AbftOptions::default());
+        assert!(report.is_ok(), "clean product flagged: {report:?}");
+        assert_eq!(report.checked_rows, 48);
+        assert!(report.offending_rows().is_empty());
+    }
+
+    #[test]
+    fn corrupted_value_is_localised_to_its_row() {
+        let (a, b, c) = product();
+        let mut vals = c.values().to_vec();
+        let victim_entry = vals.len() / 2;
+        vals[victim_entry] += 0.5;
+        let bad =
+            Csr::from_parts(c.rows(), c.cols(), c.row_ptr().to_vec(), c.col_idx().to_vec(), vals)
+                .expect("structure unchanged");
+        let victim_row = c.row_ptr().partition_point(|&p| p <= victim_entry) - 1;
+        let report = verify(&a, &b, &bad, &AbftOptions::default());
+        assert!(!report.is_ok());
+        assert_eq!(report.offending_rows(), vec![victim_row as u32]);
+    }
+
+    #[test]
+    fn dropped_entry_is_detected() {
+        let (a, b, c) = product();
+        // Remove the first entry of the densest row.
+        let victim =
+            (0..c.rows()).max_by_key(|&i| c.row_ptr()[i + 1] - c.row_ptr()[i]).expect("non-empty");
+        let start = c.row_ptr()[victim];
+        let mut row_ptr = c.row_ptr().to_vec();
+        let mut col_idx = c.col_idx().to_vec();
+        let mut vals = c.values().to_vec();
+        col_idx.remove(start);
+        vals.remove(start);
+        for p in &mut row_ptr[victim + 1..] {
+            *p -= 1;
+        }
+        let bad = Csr::from_parts(c.rows(), c.cols(), row_ptr, col_idx, vals).expect("valid");
+        let report = verify(&a, &b, &bad, &AbftOptions::default());
+        assert!(report.row_checksum_failures.contains(&(victim as u32)));
+    }
+
+    #[test]
+    fn column_swap_preserving_row_sum_needs_freivalds() {
+        // Move a value to a different column of the same row: the row sum
+        // is unchanged, so only the Freivalds probe can catch it.
+        let (a, b, c) = product();
+        let victim = (0..c.rows())
+            .find(|&i| {
+                let (s, e) = (c.row_ptr()[i], c.row_ptr()[i + 1]);
+                e - s >= 2
+            })
+            .expect("a row with two entries");
+        let start = c.row_ptr()[victim];
+        let mut vals = c.values().to_vec();
+        let moved = vals[start];
+        vals[start + 1] += moved;
+        vals[start] = 0.0;
+        let bad =
+            Csr::from_parts(c.rows(), c.cols(), c.row_ptr().to_vec(), c.col_idx().to_vec(), vals)
+                .expect("structure unchanged");
+        let sums_only =
+            verify(&a, &b, &bad, &AbftOptions { freivalds_probes: 0, ..AbftOptions::default() });
+        assert!(
+            sums_only.row_checksum_failures.is_empty(),
+            "row sums were preserved by construction"
+        );
+        let full = verify(&a, &b, &bad, &AbftOptions::default());
+        assert_eq!(full.freivalds_failures, vec![victim as u32]);
+    }
+
+    #[test]
+    fn shape_mismatch_fails_without_row_checks() {
+        let (a, b, _) = product();
+        let wrong = Csr::<f64>::zero(a.rows() + 1, b.cols());
+        let report = verify(&a, &b, &wrong, &AbftOptions::default());
+        assert!(!report.dims_ok);
+        assert!(!report.is_ok());
+        assert_eq!(report.checked_rows, 0);
+    }
+
+    #[test]
+    fn verification_is_deterministic_in_the_seed() {
+        let (a, b, c) = product();
+        let mut vals = c.values().to_vec();
+        vals[0] += 1.0;
+        let bad =
+            Csr::from_parts(c.rows(), c.cols(), c.row_ptr().to_vec(), c.col_idx().to_vec(), vals)
+                .expect("structure unchanged");
+        let opts = AbftOptions { seed: 99, ..AbftOptions::default() };
+        let r1 = verify(&a, &b, &bad, &opts);
+        let r2 = verify(&a, &b, &bad, &opts);
+        assert_eq!(r1, r2);
+    }
+}

@@ -268,22 +268,7 @@ impl<T: Scalar> C2sr<T> {
         }
         for i in 0..self.rows {
             let (cols_slice, _) = self.row_slices(i);
-            let mut prev: Option<Index> = None;
-            for &c in cols_slice {
-                if c as usize >= self.cols {
-                    return Err(FormatError::IndexOutOfBounds {
-                        axis: "column",
-                        index: c as usize,
-                        bound: self.cols,
-                    });
-                }
-                if let Some(p) = prev {
-                    if c <= p {
-                        return Err(FormatError::UnsortedIndices { outer: i });
-                    }
-                }
-                prev = Some(c);
-            }
+            crate::csr::check_row_indices(i, self.cols, cols_slice)?;
         }
         Ok(())
     }

@@ -290,22 +290,33 @@ fn check_structure(
         return Err(FormatError::MalformedPointers { at: rows });
     }
     for i in 0..rows {
-        let mut prev: Option<Index> = None;
-        for &c in &col_idx[row_ptr[i]..row_ptr[i + 1]] {
-            if c as usize >= cols {
-                return Err(FormatError::IndexOutOfBounds {
-                    axis: "column",
-                    index: c as usize,
-                    bound: cols,
-                });
-            }
-            if let Some(p) = prev {
-                if c <= p {
-                    return Err(FormatError::UnsortedIndices { outer: i });
-                }
-            }
-            prev = Some(c);
+        check_row_indices(i, cols, &col_idx[row_ptr[i]..row_ptr[i + 1]])?;
+    }
+    Ok(())
+}
+
+/// Checks one row's column ids: in bounds and **strictly increasing**.
+///
+/// The single source of truth for the intra-row sortedness invariant.
+/// CSR's `check_structure` and C²SR's `validate` both call it, so the
+/// two formats cannot drift on what "sorted" means (strict — duplicates
+/// are also rejected).
+pub(crate) fn check_row_indices(
+    outer: usize,
+    bound: usize,
+    col_idx: &[Index],
+) -> Result<(), FormatError> {
+    let mut prev: Option<Index> = None;
+    for &c in col_idx {
+        if c as usize >= bound {
+            return Err(FormatError::IndexOutOfBounds { axis: "column", index: c as usize, bound });
         }
+        if let Some(p) = prev {
+            if c <= p {
+                return Err(FormatError::UnsortedIndices { outer });
+            }
+        }
+        prev = Some(c);
     }
     Ok(())
 }

@@ -39,6 +39,7 @@ mod error;
 mod scalar;
 mod submatrix;
 
+pub mod abft;
 pub mod dataflow;
 pub mod gen;
 pub mod io;

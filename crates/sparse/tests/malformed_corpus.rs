@@ -3,7 +3,7 @@
 //! from untrusted parts) and `Csr::validate` (revalidation of an existing
 //! matrix, including the finiteness scan that construction does not run).
 
-use matraptor_sparse::{Csr, SparseError};
+use matraptor_sparse::{C2sr, Csr, SparseError};
 
 /// A well-formed 3x4 matrix used as the starting point for the corpus.
 fn good_parts() -> (usize, usize, Vec<usize>, Vec<u32>, Vec<f64>) {
@@ -106,6 +106,30 @@ fn integer_matrices_are_always_finite() {
     let (r, c, ptr, idx, _) = good_parts();
     let m: Csr<i64> = Csr::from_parts(r, c, ptr, idx, vec![1, 2, 3, 4]).unwrap();
     assert_eq!(m.validate(), Ok(()));
+}
+
+#[test]
+fn c2sr_append_row_with_unsorted_columns_fails_validate() {
+    // `append_row` is the hardware writer's raw append path — it does not
+    // check sortedness itself; `validate` must catch it through the same
+    // shared invariant CSR construction uses.
+    let mut out = C2sr::<f64>::new_for_output(2, 4, 1).expect("one channel");
+    out.append_row(0, &[2, 0], &[1.0, 2.0]);
+    out.append_row(1, &[1], &[3.0]);
+    assert_eq!(out.validate(), Err(SparseError::UnsortedIndices { outer: 0 }));
+
+    // Duplicated column ids violate the same (strict) invariant.
+    let mut dup = C2sr::<f64>::new_for_output(1, 4, 1).expect("one channel");
+    dup.append_row(0, &[1, 1], &[1.0, 2.0]);
+    assert_eq!(dup.validate(), Err(SparseError::UnsortedIndices { outer: 0 }));
+
+    // And out-of-range ids surface as the bounds error, not sortedness.
+    let mut oob = C2sr::<f64>::new_for_output(1, 4, 1).expect("one channel");
+    oob.append_row(0, &[9], &[1.0]);
+    assert_eq!(
+        oob.validate(),
+        Err(SparseError::IndexOutOfBounds { axis: "column", index: 9, bound: 4 })
+    );
 }
 
 #[test]
