@@ -10,6 +10,10 @@
 
 use std::time::{Duration, Instant};
 
+/// Hard cap on samples per benchmark, so a sub-microsecond body under a
+/// generous budget cannot accumulate unbounded memory.
+const MAX_SAMPLES: usize = 10_000;
+
 /// One benchmark group, mirroring criterion's `benchmark_group` shape.
 #[derive(Debug)]
 pub struct Group {
@@ -27,7 +31,11 @@ impl Group {
         Group { name: name.to_string(), budget: Duration::from_millis(500), min_samples: 10 }
     }
 
-    /// Overrides the per-benchmark measurement budget.
+    /// Overrides the per-benchmark measurement budget. A zero (or
+    /// over-tight) budget is honoured gracefully: at least one timed
+    /// sample is always taken, and benchmarks whose sample count was
+    /// dictated by a clamp rather than the budget are marked
+    /// `budget-clipped` in the output.
     pub fn budget(mut self, budget: Duration) -> Self {
         self.budget = budget;
         self
@@ -40,26 +48,85 @@ impl Group {
     where
         F: FnMut() -> R,
     {
+        let (median, n, clipped) = self.run(&mut f);
+        println!(
+            "  {:<40} {:>12.3?} (n={}{})",
+            format!("{}/{}", self.name, name),
+            median,
+            n,
+            if clipped { ", budget-clipped" } else { "" }
+        );
+        median
+    }
+
+    /// The measurement loop behind [`bench`](Group::bench). The returned
+    /// flag reports whether the sample count was decided by a clamp (the
+    /// minimum-sample floor outlasting the budget, or the [`MAX_SAMPLES`]
+    /// cap) instead of by the budget itself.
+    fn run<F, R>(&self, f: &mut F) -> (Duration, usize, bool)
+    where
+        F: FnMut() -> R,
+    {
         // One warm-up iteration, then sample until the budget is spent.
         let _ = std::hint::black_box(f());
         let mut samples: Vec<Duration> = Vec::new();
         let started = Instant::now();
-        while samples.len() < self.min_samples || started.elapsed() < self.budget {
+        let mut overtight = false;
+        // `loop` rather than a guarded `while`: the first sample is taken
+        // unconditionally, so the median below is total by construction
+        // even under `budget(Duration::ZERO)`.
+        let clipped = loop {
             let t0 = Instant::now();
             let _ = std::hint::black_box(f());
             samples.push(t0.elapsed());
-            if samples.len() >= 10_000 {
-                break;
+            if samples.len() >= MAX_SAMPLES {
+                break true;
             }
-        }
+            let have_min = samples.len() >= self.min_samples.max(1);
+            let budget_spent = started.elapsed() >= self.budget;
+            if budget_spent && !have_min {
+                // The budget ran out first; we keep sampling to the floor,
+                // but the count no longer reflects the requested budget.
+                overtight = true;
+            }
+            if budget_spent && have_min {
+                break overtight;
+            }
+        };
         samples.sort_unstable();
-        let median = samples[samples.len() / 2];
-        println!(
-            "  {:<40} {:>12.3?} (n={})",
-            format!("{}/{}", self.name, name),
-            median,
-            samples.len()
-        );
-        median
+        (samples[samples.len() / 2], samples.len(), clipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_budget_still_produces_a_median_and_is_marked_clipped() {
+        let g = Group::new("t").budget(Duration::ZERO);
+        let mut calls = 0u32;
+        let (median, n, clipped) = g.run(&mut || calls += 1);
+        assert!(median >= Duration::ZERO);
+        assert!(n >= 1, "at least one timed sample is structural");
+        assert_eq!(n, g.min_samples, "the floor, not the budget, set the count");
+        assert!(clipped, "an over-tight budget must be flagged");
+        assert_eq!(calls, n as u32 + 1, "warm-up plus one call per sample");
+    }
+
+    #[test]
+    fn generous_budget_is_not_marked_clipped() {
+        let g = Group::new("t").budget(Duration::from_millis(5));
+        let (_, n, clipped) = g.run(&mut || std::thread::sleep(Duration::from_micros(50)));
+        assert!(n >= 10);
+        assert!(!clipped, "the budget, not a clamp, ended this run");
+    }
+
+    #[test]
+    fn instantaneous_bodies_hit_the_sample_cap_and_are_marked() {
+        let g = Group::new("t").budget(Duration::from_secs(3600));
+        let (_, n, clipped) = g.run(&mut || ());
+        assert_eq!(n, MAX_SAMPLES);
+        assert!(clipped, "the cap, not the budget, ended this run");
     }
 }

@@ -48,9 +48,10 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
     vec![Box::new(Determinism), Box::new(PanicSafety), Box::new(Layering), Box::new(DocDrift)]
 }
 
-/// Crates holding cycle-level simulator state: any iteration-order or
-/// wall-clock dependence here silently breaks run-to-run reproducibility.
-const SIM_STATE_CRATES: [&str; 3] = ["core", "sim", "mem"];
+/// Crates holding cycle-level simulator state — or, for `service`,
+/// simulated-time scheduling state: any iteration-order or wall-clock
+/// dependence here silently breaks run-to-run reproducibility.
+const SIM_STATE_CRATES: [&str; 4] = ["core", "sim", "mem", "service"];
 
 // ---------------------------------------------------------------------------
 // determinism
@@ -72,8 +73,8 @@ impl Rule for Determinism {
         "determinism"
     }
     fn description(&self) -> &'static str {
-        "simulator-state crates (core, sim, mem) must not use HashMap/HashSet, \
-         wall-clock time, or OS-seeded randomness"
+        "simulator-state crates (core, sim, mem, service) must not use \
+         HashMap/HashSet, wall-clock time, or OS-seeded randomness"
     }
     fn check(&self, ws: &Workspace) -> Vec<Violation> {
         let mut out = Vec::new();
@@ -118,7 +119,7 @@ const PANIC_TOKENS: [&str; 3] = [".unwrap()", ".expect(", "panic!"];
 
 fn panic_safety_applies(file: &SourceFile) -> bool {
     match file.crate_name.as_deref() {
-        Some("core") | Some("mem") => file.rel.contains("/src/"),
+        Some("core") | Some("mem") | Some("service") => file.rel.contains("/src/"),
         Some("sparse") => file.rel.contains("/src/spgemm/") || file.rel.ends_with("/src/c2sr.rs"),
         _ => false,
     }
@@ -129,8 +130,8 @@ impl Rule for PanicSafety {
         "panic-safety"
     }
     fn description(&self) -> &'static str {
-        "core, mem, and the sparse SpGEMM/C2SR hot paths must propagate errors \
-         instead of calling unwrap/expect/panic! outside test code"
+        "core, mem, service, and the sparse SpGEMM/C2SR hot paths must propagate \
+         errors instead of calling unwrap/expect/panic! outside test code"
     }
     fn check(&self, ws: &Workspace) -> Vec<Violation> {
         let mut out = Vec::new();
@@ -164,14 +165,16 @@ impl Rule for PanicSafety {
 
 /// The allowed `[dependencies]` edges between workspace crates, by short
 /// name. Dev-dependencies are exempt (tests may reach down the stack).
-/// Direction: sparse → sim → mem → core → {baselines, energy} → bench.
+/// Direction: sparse → sim → mem → core → {service, baselines, energy} →
+/// bench.
 fn allowed_deps(short: &str) -> Option<&'static [&'static str]> {
     match short {
         "sparse" | "sim" | "energy" | "conformance" => Some(&[]),
         "mem" => Some(&["sim"]),
         "core" => Some(&["sparse", "sim", "mem"]),
+        "service" => Some(&["sparse", "sim", "mem", "core"]),
         "baselines" => Some(&["sparse", "energy"]),
-        "bench" => Some(&["sparse", "sim", "mem", "core", "baselines", "energy"]),
+        "bench" => Some(&["sparse", "sim", "mem", "core", "service", "baselines", "energy"]),
         _ => None,
     }
 }
@@ -185,7 +188,7 @@ impl Rule for Layering {
     }
     fn description(&self) -> &'static str {
         "crate dependencies must follow sparse -> sim -> mem -> core -> \
-         {baselines, energy} -> bench; no back-edges"
+         {service, baselines, energy} -> bench; no back-edges"
     }
     fn check(&self, ws: &Workspace) -> Vec<Violation> {
         let mut out = Vec::new();

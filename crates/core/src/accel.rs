@@ -57,6 +57,20 @@ pub struct RunOutcome {
     pub stats: MatRaptorStats,
 }
 
+/// How a deadline-bounded run ended: finished inside the budget, or
+/// cancelled at the deadline with the machine state captured via the
+/// checkpoint path (so a scheduler that changes its mind — or a debugger —
+/// can still resume the cancelled work with [`Accelerator::try_run_from`]).
+#[derive(Debug)]
+pub enum DeadlineRun {
+    /// The run drained before the deadline. Boxed to keep the enum near
+    /// pointer size next to the slim `Cancelled` payload.
+    Completed(Box<RunOutcome>),
+    /// The run was cancelled at the deadline cycle; the payload is the
+    /// full machine state at the moment of cancellation.
+    Cancelled(Box<Checkpoint>),
+}
+
 /// A failed checkpointing run: the error plus the last checkpoint taken
 /// before the failure, if any — the input to the recovery ladder's
 /// resume-from-checkpoint rung.
@@ -274,6 +288,34 @@ impl Accelerator {
             Ok(None)
         } else {
             Ok(Some(self.snapshot_run(&ctx, &state)))
+        }
+    }
+
+    /// Runs `a * b` under a hard per-job cycle budget: if the machine has
+    /// not drained by accelerator cycle `deadline`, the run is *cancelled*
+    /// — the drive loop pauses at the deadline exactly as the checkpoint
+    /// path does, and the machine state at that cycle is returned as the
+    /// cancellation artifact. This is the cancellation hook the multi-job
+    /// service layer's deadline enforcement is built on: a cancelled job
+    /// costs exactly `deadline` simulated cycles, never more.
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::try_run`], for failures occurring *before* the
+    /// deadline cycle.
+    pub fn try_run_deadline(
+        &self,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        plan: Option<&FaultPlan>,
+        deadline: u64,
+    ) -> Result<DeadlineRun, SimError> {
+        let ctx = self.prepare_context(a, b)?;
+        let mut state = self.fresh_state(&ctx, plan);
+        if self.drive(&ctx, &mut state, Some(deadline))? {
+            self.finalize(&ctx, &state).map(|outcome| DeadlineRun::Completed(Box::new(outcome)))
+        } else {
+            Ok(DeadlineRun::Cancelled(Box::new(self.snapshot_run(&ctx, &state))))
         }
     }
 
@@ -621,8 +663,16 @@ impl Accelerator {
             if t.is_multiple_of(ratio) {
                 hbm.tick(mem_now);
                 while let Some(resp) = hbm.pop_response(mem_now) {
-                    // conformance:allow(panic-safety): invariant: every in-flight response id was recorded in `route` when issued
-                    let lane = route.remove(&resp.id.0).expect("response for unknown lane");
+                    // Every in-flight response id was recorded in `route`
+                    // when issued; a miss means the interconnect model (or
+                    // injected memory corruption) fabricated a response.
+                    // Propagate it instead of panicking so services above
+                    // the driver survive the broken run.
+                    let Some(lane) = route.remove(&resp.id.0) else {
+                        return Err(SimError::ProtocolViolation {
+                            detail: "HBM response for an unissued request id",
+                        });
+                    };
                     inboxes[lane].push(resp.id.0);
                 }
             }
@@ -767,10 +817,12 @@ impl Accelerator {
         let lanes_n = cfg.num_lanes;
         let lanes = &state.lanes;
 
-        // Assemble the functional output in C²SR, per-lane row order.
-        let mut c2sr =
-            // conformance:allow(panic-safety): invariant: lane count is validated positive at construction
-            C2sr::new_for_output(ctx.a.rows(), ctx.b.cols(), lanes_n).expect("positive lane count");
+        // Assemble the functional output in C²SR, per-lane row order. The
+        // lane count was validated positive at construction, so a refusal
+        // here is a protocol violation, not an input problem.
+        let mut c2sr = C2sr::new_for_output(ctx.a.rows(), ctx.b.cols(), lanes_n).map_err(|_| {
+            SimError::ProtocolViolation { detail: "output C2SR rejected the validated lane count" }
+        })?;
         for lane in lanes {
             for row in &lane.writer.finished {
                 c2sr.append_row(row.row as usize, &row.cols, &row.vals);
@@ -958,7 +1010,7 @@ mod tests {
         // Matrix with several all-zero rows.
         let a =
             Csr::from_parts(6, 6, vec![0, 2, 2, 2, 3, 3, 3], vec![1, 3, 0], vec![1.0, 2.0, 3.0])
-                .unwrap();
+                .expect("structurally valid CSR");
         let outcome = Accelerator::new(MatRaptorConfig::small_test()).run(&a, &a);
         assert!(outcome.c.approx_eq(&spgemm::gustavson(&a, &a), 1e-9));
     }
@@ -1032,6 +1084,30 @@ mod tests {
         let accel = Accelerator::new(MatRaptorConfig::small_test());
         let ck = accel.try_run_to_checkpoint(&eye, &eye, None, u64::MAX).expect("run");
         assert!(ck.is_none(), "run should drain before u64::MAX cycles");
+    }
+
+    #[test]
+    fn deadline_run_cancels_at_the_deadline_and_is_resumable() {
+        let a = gen::uniform(48, 48, 300, 21);
+        let accel = Accelerator::new(MatRaptorConfig::small_test());
+        let full = accel.try_run(&a, &a).expect("clean run");
+        match accel.try_run_deadline(&a, &a, None, 64).expect("bounded run") {
+            DeadlineRun::Cancelled(ck) => {
+                assert_eq!(ck.cycle(), 64, "cancellation is exact: the deadline cycle");
+                // Cancelled work is a checkpoint — resuming it finishes
+                // the run bit-identically to the unbounded machine.
+                let resumed = accel.try_run_from(&a, &a, &ck).expect("resume");
+                assert_eq!(resumed.stats.total_cycles, full.stats.total_cycles);
+                assert_eq!(resumed.c, full.c);
+            }
+            DeadlineRun::Completed(_) => panic!("48x48 product cannot drain in 64 cycles"),
+        }
+        match accel.try_run_deadline(&a, &a, None, u64::MAX).expect("bounded run") {
+            DeadlineRun::Completed(outcome) => {
+                assert_eq!(outcome.stats.total_cycles, full.stats.total_cycles);
+            }
+            DeadlineRun::Cancelled(_) => panic!("run should drain before u64::MAX"),
+        }
     }
 
     #[test]

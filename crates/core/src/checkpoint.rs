@@ -211,6 +211,15 @@ pub(crate) fn fingerprint_config(cfg: &MatRaptorConfig) -> u64 {
     mix_signature(s, m.bank_lookahead as u64)
 }
 
+/// Stable fingerprint of an operand pair `(A, B)` — the input identity the
+/// service layer's poison-job quarantine keys on. Built from the same
+/// per-matrix fingerprints the checkpoint resume path uses, so two
+/// submissions collide exactly when a checkpoint taken under one would
+/// resume under the other: same shapes, same structure, same value bits.
+pub fn fingerprint_inputs(a: &Csr<f64>, b: &Csr<f64>) -> u64 {
+    mix_signature(fingerprint_matrix(a), fingerprint_matrix(b))
+}
+
 /// Fingerprint of an operand matrix: shape plus every structural index
 /// and raw value bit, so a resume against even a one-ulp-different
 /// operand is rejected.

@@ -12,7 +12,7 @@ use matraptor_mem::HbmConfig;
 use matraptor_sim::stats::CycleBreakdown;
 use matraptor_sparse::{spgemm, C2sr, Csr, SparseError};
 
-use crate::accel::{Accelerator, FailedRun, RunOutcome};
+use crate::accel::{Accelerator, DeadlineRun, FailedRun, RunOutcome};
 use crate::checkpoint::Checkpoint;
 use crate::error::SimError;
 use crate::fault::FaultPlan;
@@ -134,6 +134,15 @@ pub enum DriverError {
     /// The accelerator declared a fault mid-run and terminated with a
     /// structured diagnostic instead of an output.
     AcceleratorFault(SimError),
+    /// A deadline-bounded launch did not finish within its cycle budget
+    /// and was cancelled at the deadline (see
+    /// [`Driver::launch_with_deadline`]). This is a *scheduling* outcome,
+    /// not a hardware fault: the machine was healthy, the job was simply
+    /// too expensive for the budget it was admitted under.
+    DeadlineExceeded {
+        /// The cycle budget the job was cancelled at.
+        deadline_cycles: u64,
+    },
 }
 
 impl std::fmt::Display for DriverError {
@@ -146,6 +155,9 @@ impl std::fmt::Display for DriverError {
             ),
             DriverError::InvalidInput(e) => write!(f, "input matrix rejected: {e}"),
             DriverError::AcceleratorFault(e) => write!(f, "accelerator fault: {e}"),
+            DriverError::DeadlineExceeded { deadline_cycles } => {
+                write!(f, "job cancelled at its deadline of {deadline_cycles} cycles")
+            }
         }
     }
 }
@@ -286,6 +298,40 @@ impl<'a> Driver<'a> {
         // Completion: hardware clears the start bit.
         self.regs.x0 = 0;
         Ok(outcome)
+    }
+
+    /// [`Driver::launch`] under a hard per-job cycle budget: the run is
+    /// cancelled at accelerator cycle `deadline_cycles` if it has not
+    /// drained by then, via the checkpoint pause path
+    /// ([`Accelerator::try_run_deadline`]). A cancelled job costs exactly
+    /// the deadline in simulated cycles — the cancellation hook the
+    /// multi-job service layer's admission deadlines rely on. `plan`
+    /// optionally arms an injected fault, as in
+    /// [`Driver::launch_with_recovery`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Driver::launch`] reports, plus
+    /// [`DriverError::DeadlineExceeded`] when the budget expires first.
+    pub fn launch_with_deadline(
+        &mut self,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        plan: Option<&FaultPlan>,
+        deadline_cycles: u64,
+    ) -> Result<RunOutcome, DriverError> {
+        self.preflight(a, b)?;
+        match self.accel.try_run_deadline(a, b, plan, deadline_cycles) {
+            Ok(DeadlineRun::Completed(outcome)) => {
+                self.regs.x0 = 0;
+                Ok(*outcome)
+            }
+            // The cancellation checkpoint is dropped here: the driver's
+            // contract is cancel-and-report. Callers that want to resume
+            // cancelled work use `Accelerator::try_run_deadline` directly.
+            Ok(DeadlineRun::Cancelled(_)) => Err(DriverError::DeadlineExceeded { deadline_cycles }),
+            Err(e) => Err(DriverError::AcceleratorFault(e)),
+        }
     }
 
     /// [`Driver::launch`] with the default [`RecoveryPolicy`]: transient
@@ -625,6 +671,47 @@ mod tests {
     }
 
     #[test]
+    fn deadline_launch_cancels_slow_jobs_and_passes_fast_ones() {
+        let a = gen::uniform(32, 32, 200, 4);
+        let accel = Accelerator::new(MatRaptorConfig::small_test());
+        let mut d = Driver::new(&accel);
+        d.mtx(MtxWrite::ARows(32));
+        d.mtx(MtxWrite::BRows(32));
+        d.mtx(MtxWrite::X0(1));
+        // A 100-cycle budget cannot cover the product: cancelled.
+        match d.launch_with_deadline(&a, &a, None, 100) {
+            Err(DriverError::DeadlineExceeded { deadline_cycles: 100 }) => {}
+            other => panic!("expected deadline cancellation, got {other:?}"),
+        }
+        // The start bit stays set — the job never completed.
+        assert_eq!(d.registers().x0, 1);
+        // A generous budget lets the same job finish normally.
+        let outcome = d.launch_with_deadline(&a, &a, None, u64::MAX).expect("within deadline");
+        assert!(outcome.c.approx_eq(&spgemm::gustavson(&a, &a), 1e-9));
+        assert_eq!(d.registers().x0, 0);
+    }
+
+    #[test]
+    fn deadline_launch_still_reports_faults_before_the_deadline() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut cfg = MatRaptorConfig::small_test();
+        cfg.watchdog_window = 2_000;
+        let a = gen::uniform(32, 32, 200, 5);
+        let accel = Accelerator::new(cfg);
+        let mut d = Driver::new(&accel);
+        d.mtx(MtxWrite::ARows(32));
+        d.mtx(MtxWrite::BRows(32));
+        d.mtx(MtxWrite::X0(1));
+        let plan = FaultPlan::sample(FaultKind::ChannelStall, 7, accel.config().num_lanes);
+        // Watchdog (2k window) fires long before the generous deadline, so
+        // the fault wins and is reported as a fault, not a cancellation.
+        match d.launch_with_deadline(&a, &a, Some(&plan), u64::MAX) {
+            Err(DriverError::AcceleratorFault(SimError::Deadlock(_))) => {}
+            other => panic!("expected deadlock fault, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn recovery_on_a_clean_run_is_a_single_attempt() {
         let a = gen::uniform(24, 24, 120, 2);
         let accel = Accelerator::new(MatRaptorConfig::small_test());
@@ -709,9 +796,11 @@ mod tests {
         assert!(fault.to_string().contains("accelerator fault"));
         let invalid = DriverError::InvalidInput(SparseError::NonFiniteValue { row: 0, col: 1 });
         assert!(invalid.to_string().contains("rejected"));
+        let late = DriverError::DeadlineExceeded { deadline_cycles: 512 };
+        assert!(late.to_string().contains("deadline") && late.to_string().contains("512"));
         // All variants usable as a trait object (the `Box<dyn Error>`
         // plumbing downstream tooling relies on).
-        for e in [not_started, dim, fault, invalid] {
+        for e in [not_started, dim, fault, invalid, late] {
             let boxed: Box<dyn std::error::Error> = Box::new(e);
             assert!(!boxed.to_string().is_empty());
         }

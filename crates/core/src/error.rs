@@ -67,6 +67,15 @@ pub enum SimError {
         /// Which fingerprint disagreed.
         detail: &'static str,
     },
+    /// An internal interconnect invariant was violated mid-run — e.g. the
+    /// HBM delivered a response for a request id no lane issued. This is a
+    /// model bug (or injected memory corruption), not an input problem;
+    /// the run terminates with this structured error instead of panicking
+    /// so multi-job services above the driver can keep serving.
+    ProtocolViolation {
+        /// Which invariant broke.
+        detail: &'static str,
+    },
 }
 
 /// Structural problems with the input operands.
@@ -198,6 +207,9 @@ impl fmt::Display for SimError {
             }
             SimError::CheckpointMismatch { detail } => {
                 write!(f, "checkpoint does not match this run: {detail}")
+            }
+            SimError::ProtocolViolation { detail } => {
+                write!(f, "internal protocol violation: {detail}")
             }
         }
     }
@@ -378,6 +390,13 @@ mod tests {
         assert!(ConfigError::NonIntegerClockRatio { ratio: 1.5 }
             .to_string()
             .contains("clock ratio"));
+    }
+
+    #[test]
+    fn protocol_violation_displays_the_detail() {
+        let e = SimError::ProtocolViolation { detail: "HBM response for an unissued request id" };
+        assert!(e.to_string().contains("protocol violation"));
+        assert!(e.to_string().contains("unissued request id"));
     }
 
     #[test]

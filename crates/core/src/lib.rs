@@ -75,8 +75,8 @@ mod stats;
 mod tokens;
 mod writer;
 
-pub use accel::{Accelerator, FailedRun, RunOutcome};
-pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
+pub use accel::{Accelerator, DeadlineRun, FailedRun, RunOutcome};
+pub use checkpoint::{fingerprint_inputs, Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use config::MatRaptorConfig;
 pub use convert::{
     conversion_cycles, conversion_cycles_directed, ConversionDirection, ConversionReport,

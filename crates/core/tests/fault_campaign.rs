@@ -4,7 +4,8 @@
 //! outcome — never a hang, never a panic.
 
 use matraptor_core::{
-    classify, Accelerator, FaultKind, FaultPlan, MalformedInput, MatRaptorConfig, SimError, Verdict,
+    classify, Accelerator, Driver, FaultKind, FaultPlan, MalformedInput, MatRaptorConfig, MtxWrite,
+    RecoveryPolicy, SimError, Verdict,
 };
 use matraptor_sparse::{gen, spgemm, Csr};
 
@@ -128,6 +129,59 @@ fn campaign_is_deterministic_across_sweeps() {
             .collect()
     };
     assert_eq!(sweep(), sweep());
+}
+
+/// The recovery ladder is replay-deterministic: for every fault kind and
+/// seed, two independent `launch_with_policy` runs produce the same
+/// attempt trail (rungs, backoffs, recorded faults), the same summary
+/// flags, the same final verdict, and — when the ladder recovers —
+/// bit-identical output values and cycle counts. This is the property the
+/// service layer's strict campaign mode leans on.
+#[test]
+fn recovery_ladder_replays_bit_identically_for_every_fault_kind() {
+    let (a, b) = test_matrices();
+    let cfg = campaign_config();
+    let lanes = cfg.num_lanes;
+    let policy = RecoveryPolicy {
+        max_attempts: 3,
+        backoff_base_cycles: 500,
+        checkpoint_interval: Some(1_024),
+    };
+
+    // One launch, fully summarised: the Ok side keeps the trail plus the
+    // output bits and cycles; the Err side keeps the structured fault.
+    // Everything inside derives Eq, so replays compare exactly.
+    let launch = |kind: FaultKind, seed: u64| {
+        let accel = Accelerator::new(campaign_config());
+        let mut driver = Driver::new(&accel);
+        driver.mtx(MtxWrite::ARows(a.rows() as u64));
+        driver.mtx(MtxWrite::BRows(b.rows() as u64));
+        driver.mtx(MtxWrite::X0(1));
+        let plan = FaultPlan::sample(kind, seed, lanes);
+        match driver.launch_with_policy(&a, &b, Some(&plan), &policy) {
+            Ok((outcome, report)) => {
+                let bits: Vec<u64> = outcome.c.values().iter().map(|v| v.to_bits()).collect();
+                Ok((report, outcome.stats.total_cycles, bits))
+            }
+            Err(e) => Err(format!("{e:?}")),
+        }
+    };
+
+    for kind in FaultKind::ALL {
+        for seed in 0..3u64 {
+            let first = launch(kind, seed);
+            let second = launch(kind, seed);
+            assert_eq!(first, second, "{} seed {seed}: recovery replay diverged", kind.name());
+            // The trail itself must be reproducible in shape, not just as
+            // a whole: same rung sequence both times.
+            if let (Ok((r1, _, _)), Ok((r2, _, _))) = (&first, &second) {
+                let rungs1: Vec<_> = r1.trail.iter().map(|t| t.action).collect();
+                let rungs2: Vec<_> = r2.trail.iter().map(|t| t.action).collect();
+                assert_eq!(rungs1, rungs2);
+                assert_eq!(r1.attempts as usize, r1.trail.len());
+            }
+        }
+    }
 }
 
 /// A forced sorting-queue overflow with the CPU fallback disabled is a

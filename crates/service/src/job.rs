@@ -1,0 +1,223 @@
+//! Job identity, submission, and resolution records.
+
+use std::rc::Rc;
+
+use matraptor_core::FaultPlan;
+use matraptor_sim::Cycle;
+use matraptor_sparse::Csr;
+
+/// Service-assigned job identifier, unique per [`Service`](crate::Service)
+/// instance, issued in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// Index into the service's tenant table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TenantId(pub usize);
+
+/// One SpGEMM request as a tenant submits it.
+///
+/// Operands are shared [`Rc`]s so a campaign can submit the same matrices
+/// thousands of times without cloning payload data; the service never
+/// mutates them.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Submitting tenant.
+    pub tenant: TenantId,
+    /// Left operand.
+    pub a: Rc<Csr<f64>>,
+    /// Right operand.
+    pub b: Rc<Csr<f64>>,
+    /// Optional injected fault. The service's fault model is *persistent*:
+    /// the plan rides the operands across every retry of this job, the
+    /// precondition for the poison-input quarantine to be sound.
+    pub plan: Option<FaultPlan>,
+}
+
+/// Why a submission was refused at admission. Every variant is explicit
+/// backpressure — the caller learns immediately, nothing is buffered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The tenant's bounded queue is at capacity.
+    QueueFull {
+        /// The refusing tenant.
+        tenant: TenantId,
+        /// Its configured capacity.
+        capacity: usize,
+    },
+    /// This operand pair has faulted too often and is permanently refused.
+    Quarantined {
+        /// The pair's [`fingerprint_inputs`](matraptor_core::fingerprint_inputs).
+        fingerprint: u64,
+    },
+    /// The operands cannot be multiplied (inner dimensions disagree), so
+    /// no flop estimate — and hence no deadline — exists for them.
+    InvalidShape {
+        /// Columns of `A`.
+        a_cols: usize,
+        /// Rows of `B`.
+        b_rows: usize,
+    },
+    /// The tenant id is not in the service's tenant table.
+    UnknownTenant {
+        /// The out-of-range id.
+        tenant: TenantId,
+    },
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { tenant, capacity } => {
+                write!(f, "tenant {} queue full (capacity {capacity})", tenant.0)
+            }
+            Rejected::Quarantined { fingerprint } => {
+                write!(f, "operand pair {fingerprint:#018x} is quarantined")
+            }
+            Rejected::InvalidShape { a_cols, b_rows } => {
+                write!(f, "inner dimensions disagree: A has {a_cols} cols, B has {b_rows} rows")
+            }
+            Rejected::UnknownTenant { tenant } => write!(f, "unknown tenant id {}", tenant.0),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// How a resolved job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Completed on the accelerator within its deadline.
+    Completed,
+    /// Completed on the host CPU — shed there because the circuit breaker
+    /// was open (or opened mid-retry).
+    CompletedOnCpu,
+    /// Cancelled at its cycle deadline via the checkpoint path.
+    DeadlineExceeded,
+    /// Every permitted accelerator attempt faulted.
+    Failed,
+}
+
+impl Disposition {
+    /// Stable lowercase label used in JSON reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Disposition::Completed => "completed",
+            Disposition::CompletedOnCpu => "completed_on_cpu",
+            Disposition::DeadlineExceeded => "deadline_exceeded",
+            Disposition::Failed => "failed",
+        }
+    }
+}
+
+/// Bookkeeping for one resolved job — the raw material for SLO reports
+/// (queue-wait and service-cycle percentiles). Operands are dropped at
+/// resolution; records are plain data.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Service-assigned id.
+    pub id: JobId,
+    /// Submitting tenant.
+    pub tenant: TenantId,
+    /// Simulated cycle at which the job was admitted.
+    pub submitted_at: Cycle,
+    /// Simulated cycle at which the scheduler dispatched it.
+    pub started_at: Cycle,
+    /// Simulated cycle at which it resolved.
+    pub finished_at: Cycle,
+    /// The admission-time flop estimate its deadline was derived from.
+    pub estimated_flops: u64,
+    /// The cycle deadline it ran under.
+    pub deadline_cycles: u64,
+    /// Accelerator attempts consumed (0 if shed to CPU before any).
+    pub attempts: u32,
+    /// How it ended.
+    pub disposition: Disposition,
+}
+
+impl JobRecord {
+    /// Cycles spent queued before dispatch.
+    pub fn queue_wait(&self) -> u64 {
+        self.started_at.0.saturating_sub(self.submitted_at.0)
+    }
+
+    /// Cycles from dispatch to resolution (all attempts, including the
+    /// charge for failed ones).
+    pub fn service_cycles(&self) -> u64 {
+        self.finished_at.0.saturating_sub(self.started_at.0)
+    }
+}
+
+/// Admission-time flop estimate: the scalar-multiply count of the row-wise
+/// product, `Σ_i Σ_{k ∈ row i of A} nnz(B[k,:])` — the same quantity
+/// [`matraptor_sparse::spgemm::multiply_count`] reports, but total (never
+/// panicking): `None` when the inner dimensions disagree.
+///
+/// This reuses the CSR row-count plumbing (`row_ptr` differences), so it
+/// is O(nnz(A)) with no arithmetic on values — cheap enough to run on
+/// every submission.
+pub fn estimate_flops(a: &Csr<f64>, b: &Csr<f64>) -> Option<u64> {
+    if a.cols() != b.rows() {
+        return None;
+    }
+    let mut flops = 0u64;
+    for i in 0..a.rows() {
+        for (k, _) in a.row(i) {
+            flops = flops.saturating_add(b.row_nnz(k as usize) as u64);
+        }
+    }
+    Some(flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matraptor_sparse::{gen, spgemm};
+
+    #[test]
+    fn estimate_matches_the_reference_multiply_count() {
+        let a = gen::uniform(24, 30, 120, 1);
+        let b = gen::uniform(30, 24, 120, 2);
+        assert_eq!(estimate_flops(&a, &b), Some(spgemm::multiply_count(&a, &b)));
+    }
+
+    #[test]
+    fn estimate_rejects_mismatched_shapes_instead_of_panicking() {
+        let a = gen::uniform(8, 9, 20, 3);
+        let b = gen::uniform(10, 8, 20, 4);
+        assert_eq!(estimate_flops(&a, &b), None);
+    }
+
+    #[test]
+    fn record_derives_waits_and_saturates_backwards_time() {
+        let r = JobRecord {
+            id: JobId(1),
+            tenant: TenantId(0),
+            submitted_at: Cycle(100),
+            started_at: Cycle(150),
+            finished_at: Cycle(400),
+            estimated_flops: 10,
+            deadline_cycles: 1000,
+            attempts: 1,
+            disposition: Disposition::Completed,
+        };
+        assert_eq!(r.queue_wait(), 50);
+        assert_eq!(r.service_cycles(), 250);
+        let backwards = JobRecord { started_at: Cycle(50), ..r };
+        assert_eq!(backwards.queue_wait(), 0);
+    }
+
+    #[test]
+    fn rejections_display_and_are_errors() {
+        let cases: Vec<Rejected> = vec![
+            Rejected::QueueFull { tenant: TenantId(2), capacity: 8 },
+            Rejected::Quarantined { fingerprint: 0xdead },
+            Rejected::InvalidShape { a_cols: 3, b_rows: 4 },
+            Rejected::UnknownTenant { tenant: TenantId(9) },
+        ];
+        for r in cases {
+            let boxed: Box<dyn std::error::Error> = Box::new(r);
+            assert!(!boxed.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! A deterministic, simulated-time multi-job service above the MatRaptor
+//! [`Driver`](matraptor_core::Driver).
+//!
+//! The paper evaluates one SpGEMM at a time; a deployed accelerator serves
+//! a *stream* of jobs from mutually-untrusting tenants and must stay live
+//! when some of those jobs are oversized, faulty, or adversarial. This
+//! crate layers the standard service-hardening vocabulary on top of the
+//! cycle-level model, all in **simulated time** ([`SimClock`]) so every
+//! run is bit-reproducible:
+//!
+//! * **admission control** — bounded per-tenant queues; a full queue is
+//!   explicit backpressure ([`Rejected::QueueFull`]), never an unbounded
+//!   buffer;
+//! * **deadlines** — each job gets a cycle budget from a cheap flop
+//!   estimate ([`estimate_flops`]) and the tenant's [`DeadlinePolicy`];
+//!   jobs that blow it are cancelled *mid-flight* through the driver's
+//!   checkpoint-based [`launch_with_deadline`] path;
+//! * **fair scheduling** — a deficit-round-robin scheduler over weighted
+//!   tenants, so one tenant's burst cannot starve the others;
+//! * **circuit breaking** — repeated accelerator faults open a
+//!   [`CircuitBreaker`] (closed → open → half-open → closed, exponential
+//!   cooldown in simulated cycles); while open, jobs are shed to the CPU
+//!   fallback instead of being fed to a sick machine;
+//! * **poison quarantine** — operand pairs whose runs fault twice are
+//!   fingerprinted and refused permanently ([`Rejected::Quarantined`]).
+//!
+//! The service models *persistent* input-borne faults: a [`FaultPlan`]
+//! attached to a job rides its operands across every retry, which is what
+//! makes "this input has failed twice, refuse it" a sound policy (contrast
+//! with the transient-fault model of the PR 3 recovery ladder).
+//!
+//! The `stress_campaign` bench binary drives this crate with thousands of
+//! mixed jobs and emits a machine-checkable SLO report (see
+//! EXPERIMENTS.md).
+//!
+//! [`SimClock`]: matraptor_sim::SimClock
+//! [`launch_with_deadline`]: matraptor_core::Driver::launch_with_deadline
+//! [`FaultPlan`]: matraptor_core::FaultPlan
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod breaker;
+mod job;
+mod quarantine;
+mod sched;
+mod service;
+
+pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
+pub use job::{estimate_flops, Disposition, JobId, JobRecord, JobSpec, Rejected, TenantId};
+pub use quarantine::Quarantine;
+pub use service::{
+    DeadlinePolicy, Service, ServiceConfig, ServiceCounters, ServiceError, TenantConfig,
+};

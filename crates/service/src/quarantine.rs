@@ -1,0 +1,89 @@
+//! Poison-input quarantine.
+//!
+//! Under the persistent-fault model an operand pair that faults will fault
+//! again on every retry — resubmitting it just burns cycles and re-trips
+//! the circuit breaker for everyone. The quarantine counts *resolved
+//! failures* (not individual attempts) per input fingerprint and refuses
+//! pairs permanently once they cross a threshold.
+//!
+//! Deadline cancellations do **not** strike: a deadline kill reflects the
+//! submitting tenant's budget policy, not input health — the same pair may
+//! be perfectly serviceable under another tenant's looser deadline.
+
+use std::collections::BTreeMap;
+
+/// Strike counter keyed by
+/// [`fingerprint_inputs`](matraptor_core::fingerprint_inputs) values.
+#[derive(Debug)]
+pub struct Quarantine {
+    threshold: u32,
+    strikes: BTreeMap<u64, u32>,
+    quarantined: usize,
+}
+
+impl Quarantine {
+    /// An empty quarantine refusing inputs after `threshold` resolved
+    /// failures. A zero threshold is clamped to 1 (refuse-after-first).
+    pub fn new(threshold: u32) -> Self {
+        Quarantine { threshold: threshold.max(1), strikes: BTreeMap::new(), quarantined: 0 }
+    }
+
+    /// Whether this fingerprint is permanently refused.
+    pub fn is_quarantined(&self, fingerprint: u64) -> bool {
+        self.strikes.get(&fingerprint).is_some_and(|s| *s >= self.threshold)
+    }
+
+    /// Record one resolved failure for `fingerprint`. Returns `true` the
+    /// moment the pair crosses into quarantine (exactly once).
+    pub fn strike(&mut self, fingerprint: u64) -> bool {
+        let s = self.strikes.entry(fingerprint).or_insert(0);
+        *s = s.saturating_add(1);
+        if *s == self.threshold {
+            self.quarantined += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of distinct fingerprints currently quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantines_exactly_at_the_threshold() {
+        let mut q = Quarantine::new(2);
+        assert!(!q.is_quarantined(7));
+        assert!(!q.strike(7), "first strike is a warning");
+        assert!(!q.is_quarantined(7));
+        assert!(q.strike(7), "second strike crosses the threshold");
+        assert!(q.is_quarantined(7));
+        assert!(!q.strike(7), "crossing is reported only once");
+        assert_eq!(q.quarantined_count(), 1);
+    }
+
+    #[test]
+    fn fingerprints_are_independent() {
+        let mut q = Quarantine::new(2);
+        q.strike(1);
+        q.strike(2);
+        assert!(!q.is_quarantined(1));
+        assert!(!q.is_quarantined(2));
+        q.strike(1);
+        assert!(q.is_quarantined(1));
+        assert!(!q.is_quarantined(2));
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_refuse_after_first() {
+        let mut q = Quarantine::new(0);
+        assert!(q.strike(9));
+        assert!(q.is_quarantined(9));
+    }
+}

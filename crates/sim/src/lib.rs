@@ -11,6 +11,9 @@
 //! Provided building blocks:
 //!
 //! * [`Cycle`] — a newtype for simulation time;
+//! * [`SimClock`] — a shared monotonic simulated-time clock, the time base
+//!   the multi-job service layer measures queue waits, breaker cooldowns,
+//!   and SLOs against;
 //! * [`Fifo`] — a bounded queue with backpressure, the universal hardware
 //!   coupling element (the paper's "outstanding requests and responses
 //!   queues");
@@ -33,7 +36,7 @@ mod latency;
 pub mod stats;
 pub mod watchdog;
 
-pub use clock::Cycle;
+pub use clock::{Cycle, SimClock};
 pub use fifo::Fifo;
 pub use latency::LatencyPipe;
 pub use watchdog::{SourceId, SourceReport, SourceState, Watchdog, WatchdogReport};
