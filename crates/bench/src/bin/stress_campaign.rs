@@ -30,11 +30,13 @@
 
 use std::rc::Rc;
 
+use matraptor_bench::harness::percentile;
 use matraptor_core::{FaultKind, FaultPlan, MatRaptorConfig};
 use matraptor_service::{
     BreakerConfig, BreakerState, Disposition, JobSpec, Rejected, Service, ServiceConfig,
     TenantConfig, TenantId,
 };
+use matraptor_sim::trace::fnv1a64;
 use matraptor_sparse::{gen, rng::ChaCha8Rng, Csr};
 
 /// A shared (A, B) operand pair, as held by the job pool and the scripted
@@ -210,22 +212,6 @@ struct TenantTally {
     queue_waits: Vec<u64>,
 }
 
-fn pctl(sorted: &[u64], p: u64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    sorted[((sorted.len() - 1) as u64 * p / 100) as usize]
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 struct CampaignResult {
     json: String,
     resolved: u64,
@@ -386,7 +372,7 @@ fn run_campaign(opts: &Options) -> CampaignResult {
                 t.on_cpu,
                 t.deadline_exceeded,
                 t.failed,
-                pctl(&t.queue_waits, 50)
+                percentile(&t.queue_waits, 50)
             )
         })
         .collect();
@@ -418,7 +404,8 @@ fn run_campaign(opts: &Options) -> CampaignResult {
 \"totals\":{{\"submitted\":{},\"accepted\":{},\"resolved\":{resolved},\"completed_accel\":{},\"completed_cpu\":{},\"deadline_exceeded\":{},\"failed\":{},\"retries\":{},\"escapes\":{},\"rejected_queue_full\":{},\"rejected_quarantined\":{},\"rejected_invalid\":{},\"quarantined_inputs\":{quarantined_inputs},\"pending_at_end\":{pending_at_end}}},\
 \"slo\":{{\"final_cycle\":{final_cycle},\"jobs_per_gcycle\":{jobs_per_gcycle},\"flops_per_kcycle\":{flops_per_kcycle},\"queue_wait\":{{\"p50\":{},\"p99\":{}}},\"service_cycles\":{{\"p50\":{},\"p99\":{}}}}},\
 \"tenants\":[{}],\
-\"breaker\":{{\"final\":\"{}\",\"full_cycle\":{full_breaker_cycle},\"transitions\":[{}]}}",
+\"breaker\":{{\"final\":\"{}\",\"full_cycle\":{full_breaker_cycle},\"transitions\":[{}]}},\
+\"metrics_fingerprint\":\"{:#018x}\"",
         opts.seed,
         opts.jobs,
         c.submitted,
@@ -432,15 +419,16 @@ fn run_campaign(opts: &Options) -> CampaignResult {
         c.rejected_queue_full,
         c.rejected_quarantined,
         c.rejected_invalid,
-        pctl(&queue_waits, 50),
-        pctl(&queue_waits, 99),
-        pctl(&service_cycles, 50),
-        pctl(&service_cycles, 99),
+        percentile(&queue_waits, 50),
+        percentile(&queue_waits, 99),
+        percentile(&service_cycles, 50),
+        percentile(&service_cycles, 99),
         tenant_objects.join(","),
         breaker_final.label(),
         transition_objects.join(","),
+        service.metrics().fingerprint(),
     );
-    let json = format!("{body},\"report_fnv1a\":\"{:#018x}\"}}", fnv1a(body.as_bytes()));
+    let json = format!("{body},\"report_fnv1a\":\"{:#018x}\"}}", fnv1a64(body.as_bytes()));
 
     CampaignResult {
         json,

@@ -1,0 +1,226 @@
+//! A minimal JSON well-formedness checker.
+//!
+//! The campaign and trace binaries emit hand-assembled JSON (the workspace
+//! is std-only, so there is no serde to round-trip through). This validator
+//! is the CI gate that the assembled bytes actually parse: a strict
+//! recursive-descent walk of RFC 8259 grammar that accepts exactly one
+//! top-level value. It builds no tree and allocates nothing — validation
+//! only.
+
+/// Returns `Ok(())` when `s` is exactly one well-formed JSON value
+/// (surrounded by optional whitespace), or a byte offset + message
+/// describing the first violation.
+pub fn validate(s: &str) -> Result<(), (usize, &'static str)> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err((pos, "trailing bytes after the top-level value"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), (usize, &'static str)> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(b, pos),
+        Some(_) => Err((*pos, "unexpected byte where a value was expected")),
+        None => Err((*pos, "unexpected end of input where a value was expected")),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), (usize, &'static str)> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err((*pos, "malformed literal (expected true/false/null)"))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), (usize, &'static str)> {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err((*pos, "object member must start with a string key"));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err((*pos, "expected ':' after object key"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err((*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), (usize, &'static str)> {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err((*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), (usize, &'static str)> {
+    *pos += 1; // consume '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err((*pos, "\\u escape needs four hex digits"));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err((*pos, "invalid escape sequence in string")),
+                }
+            }
+            0x00..=0x1F => return Err((*pos, "unescaped control character in string")),
+            _ => *pos += 1, // UTF-8 continuation bytes pass through unchecked
+        }
+    }
+    Err((*pos, "unterminated string"))
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), (usize, &'static str)> {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: one zero, or a nonzero digit followed by any digits.
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+        }
+        _ => return Err((*pos, "malformed number: missing integer part")),
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return Err((*pos, "malformed number: missing fraction digits"));
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return Err((*pos, "malformed number: missing exponent digits"));
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-0.5e+10",
+            "\"esc \\\" \\\\ \\u00e9\"",
+            r#"{"a":[1,2,{"b":null}],"c":"x","d":false}"#,
+            "  {\n\t\"k\" : [ 1 , 2 ] }  ",
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{\"ph\":\"X\",\"ts\":0,\"dur\":5}]}",
+        ] {
+            assert_eq!(validate(ok), Ok(()), "should accept: {ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "tru",
+            "{} extra",
+            "[1] [2]",
+            "\"ctrl \u{0}\"",
+        ] {
+            assert!(validate(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn reports_the_offset_of_the_first_violation() {
+        let (pos, _) = validate("[1, 2, oops]").unwrap_err();
+        assert_eq!(pos, 7);
+    }
+}

@@ -7,6 +7,7 @@
 //! formatting.
 
 pub mod harness;
+pub mod json;
 
 use matraptor_sparse::gen::suite::{table2, MatrixSpec};
 use matraptor_sparse::Csr;

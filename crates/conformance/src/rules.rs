@@ -280,8 +280,8 @@ fn check_source_edges(f: &SourceFile) -> Vec<Violation> {
 // doc-drift
 // ---------------------------------------------------------------------------
 
-/// Every `fig*`/`table*`/`ablation*` binary under `crates/bench/src/bin/`
-/// must be documented in `EXPERIMENTS.md`.
+/// Every `fig*`/`table*`/`ablation*`/`trace*` binary under
+/// `crates/bench/src/bin/` must be documented in `EXPERIMENTS.md`.
 pub struct DocDrift;
 
 impl Rule for DocDrift {
@@ -289,8 +289,8 @@ impl Rule for DocDrift {
         "doc-drift"
     }
     fn description(&self) -> &'static str {
-        "every fig*/table*/ablation* binary in crates/bench/src/bin/ must have \
-         a matching entry in EXPERIMENTS.md"
+        "every fig*/table*/ablation*/trace* binary in crates/bench/src/bin/ must \
+         have a matching entry in EXPERIMENTS.md"
     }
     fn check(&self, ws: &Workspace) -> Vec<Violation> {
         let experiments =
@@ -302,7 +302,7 @@ impl Rule for DocDrift {
             else {
                 continue;
             };
-            let tracked = ["fig", "table", "ablation"].iter().any(|p| stem.starts_with(p));
+            let tracked = ["fig", "table", "ablation", "trace"].iter().any(|p| stem.starts_with(p));
             if tracked && !experiments.contains(stem) {
                 out.push(Violation {
                     rule: "doc-drift",

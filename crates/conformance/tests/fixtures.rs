@@ -76,13 +76,29 @@ fn layering_rule_fires_on_manifest_and_source_back_edges() {
 #[test]
 fn doc_drift_rule_fires_and_suppresses() {
     let report = fixture("doc_drift");
-    assert_eq!(report.violations.len(), 1, "{}", report.human());
-    let v = &report.violations[0];
-    assert_eq!(v.rule, "doc-drift");
-    assert_eq!(v.file, "crates/bench/src/bin/fig99_missing.rs");
-    assert_eq!(v.line, 1);
-    assert!(v.message.contains("fig99_missing"));
-    assert!(v.message.contains("EXPERIMENTS.md"));
+    assert_eq!(
+        report.violations.len(),
+        2,
+        "expected the undocumented fig and trace binaries:\n{}",
+        report.human()
+    );
+    let fig = report
+        .violations
+        .iter()
+        .find(|v| v.file == "crates/bench/src/bin/fig99_missing.rs")
+        .expect("undocumented fig binary flagged");
+    assert_eq!(fig.rule, "doc-drift");
+    assert_eq!(fig.line, 1);
+    assert!(fig.message.contains("fig99_missing"));
+    assert!(fig.message.contains("EXPERIMENTS.md"));
+    // Observability binaries are tracked too: trace* joined the prefix
+    // list with the cycle-level trace layer.
+    let trace = report
+        .violations
+        .iter()
+        .find(|v| v.file == "crates/bench/src/bin/trace_undocumented.rs")
+        .expect("undocumented trace binary flagged");
+    assert!(trace.message.contains("trace_undocumented"));
     // fig01_present is documented, sweep_extra is untracked, and
     // ablation_allowed carries a line-1 allow comment.
     assert_eq!(report.suppressed, 1);

@@ -4,6 +4,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use matraptor_mem::Hbm;
 use matraptor_sim::stats::CycleBreakdown;
+use matraptor_sim::trace::StageBreakdown;
 use matraptor_sim::watchdog::mix_signature;
 use matraptor_sim::{Cycle, SourceId, SourceState, Watchdog, WatchdogReport};
 use matraptor_sparse::{abft, spgemm, C2sr, Csr};
@@ -22,8 +23,9 @@ use crate::pe::Pe;
 use crate::port::MemPort;
 use crate::spal::SpAl;
 use crate::spbl::SpBl;
-use crate::stats::MatRaptorStats;
+use crate::stats::{LaneAttribution, MatRaptorStats};
 use crate::tokens::{ATok, PeTok};
+use crate::trace::{RunTrace, TraceConfig, TraceSampler};
 use crate::writer::Writer;
 
 /// The MatRaptor accelerator (Fig. 5a): `num_lanes` rows of
@@ -92,6 +94,19 @@ struct Lane {
     writer: Writer,
     spal_out: VecDeque<ATok>,
     pe_in: VecDeque<PeTok>,
+}
+
+impl Lane {
+    /// The lane's per-stage cycle attribution, with the PE's existing
+    /// Fig. 9 breakdown mapped onto the common four-bucket vocabulary.
+    fn attribution(&self) -> LaneAttribution {
+        LaneAttribution {
+            spal: *self.spal.attribution(),
+            spbl: *self.spbl.attribution(),
+            pe: StageBreakdown::from_cycle_breakdown(&self.pe.breakdown()),
+            writer: *self.writer.attribution(),
+        }
+    }
 }
 
 /// A stream fault in flight: watches A tokens crossing the SpAL → SpBL
@@ -261,6 +276,38 @@ impl Accelerator {
         let completed = self.drive(&ctx, &mut state, None)?;
         debug_assert!(completed, "unbounded drive returned without completing");
         self.finalize(&ctx, &state)
+    }
+
+    /// [`Accelerator::try_run_with_faults`] with heavy tracing enabled:
+    /// alongside the normal outcome, records windowed per-channel traffic
+    /// timelines, queue-occupancy histograms, and per-lane stage
+    /// attribution timelines ([`RunTrace`]), exportable as
+    /// `chrome://tracing` JSON.
+    ///
+    /// Tracing is observational only — the run's cycles, output, and
+    /// statistics are bit-identical to the untraced entry points.
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::try_run_with_faults`]. No trace is returned for a
+    /// failed run.
+    pub fn try_run_traced(
+        &self,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        plan: Option<&FaultPlan>,
+        trace_cfg: &TraceConfig,
+    ) -> Result<(RunOutcome, RunTrace), SimError> {
+        let ctx = self.prepare_context(a, b)?;
+        let mut state = self.fresh_state(&ctx, plan);
+        let mut sampler =
+            TraceSampler::new(trace_cfg, self.cfg.mem.num_channels, self.cfg.num_lanes);
+        let completed = self.drive_observed(&ctx, &mut state, None, Some(&mut sampler))?;
+        debug_assert!(completed, "unbounded drive returned without completing");
+        let outcome = self.finalize(&ctx, &state)?;
+        let attrs: Vec<LaneAttribution> = state.lanes.iter().map(Lane::attribution).collect();
+        let trace = sampler.finish(state.t + 1, ctx.ratio, &state.hbm.channel_stats(), &attrs);
+        Ok((outcome, trace))
     }
 
     /// Runs until accelerator cycle `at_cycle` and captures a resumable
@@ -637,6 +684,22 @@ impl Accelerator {
         state: &mut RunState,
         pause_at: Option<u64>,
     ) -> Result<bool, SimError> {
+        self.drive_observed(ctx, state, pause_at, None)
+    }
+
+    /// [`drive`](Accelerator::drive) with an optional trace sampler.
+    ///
+    /// Every untraced entry point passes `None`, and the sampler is purely
+    /// observational (it reads counters, never machine state), so the
+    /// traced and untraced machines tick bit-identically — the
+    /// zero-overhead-when-disabled contract of the observability layer.
+    fn drive_observed(
+        &self,
+        ctx: &RunContext<'_>,
+        state: &mut RunState,
+        pause_at: Option<u64>,
+        mut sampler: Option<&mut TraceSampler>,
+    ) -> Result<bool, SimError> {
         let cfg = &self.cfg;
         let lanes_n = cfg.num_lanes;
         let ratio = ctx.ratio;
@@ -675,6 +738,9 @@ impl Accelerator {
                     };
                     inboxes[lane].push(resp.id.0);
                 }
+                if let Some(s) = sampler.as_deref_mut() {
+                    s.record_queue_depths(&hbm.queue_depths());
+                }
             }
 
             let mut all_done = true;
@@ -711,6 +777,7 @@ impl Accelerator {
                     &mut lane.spal_out,
                     &mut lane.pe_in,
                     cfg.coupling_fifo_depth,
+                    lane.spal.is_done(),
                 );
                 let fifo_len_before = lane.spal_out.len();
                 lane.spal.tick(
@@ -802,6 +869,13 @@ impl Accelerator {
                 }
             }
 
+            if let Some(s) = sampler.as_deref_mut() {
+                if (*t + 1).is_multiple_of(s.window()) {
+                    let attrs: Vec<LaneAttribution> = lanes.iter().map(Lane::attribution).collect();
+                    s.close_window(*t + 1, &hbm.channel_stats(), &attrs);
+                }
+            }
+
             *t += 1;
             if *t >= ctx.budget {
                 return Err(SimError::CycleBudgetExceeded { budget: ctx.budget, cycles: *t });
@@ -868,6 +942,7 @@ impl Accelerator {
         let mut overflow_padding = 0u64;
         let mut phase1 = 0u64;
         let mut phase2 = 0u64;
+        let mut per_lane_attribution = Vec::with_capacity(lanes_n);
         for lane in lanes {
             let b = lane.pe.breakdown();
             breakdown.merge_from(&b);
@@ -878,6 +953,7 @@ impl Accelerator {
             overflow_padding += lane.writer.finished.iter().map(|r| r.padded_entries).sum::<u64>();
             phase1 += lane.pe.phase1_cycles.get();
             phase2 += lane.pe.phase2_cycles.get();
+            per_lane_attribution.push(lane.attribution());
         }
         let mem_stats = state.hbm.stats();
         let per_pe_nnz = (0..lanes_n).map(|l| ctx.ac.channel_nnz(l) as u64).collect();
@@ -901,6 +977,7 @@ impl Accelerator {
                 overflow_padding_entries: overflow_padding,
                 phase1_cycles: phase1,
                 phase2_cycles: phase2,
+                per_lane_attribution,
             },
         })
     }

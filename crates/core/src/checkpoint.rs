@@ -42,8 +42,10 @@ use crate::writer::FinishedRow;
 
 /// Current checkpoint format version. Bumped on any change to the
 /// serialized field walk; [`Checkpoint::from_bytes`] rejects other
-/// versions rather than guessing.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// versions rather than guessing. Version 2 added the per-stage
+/// `[busy, mem_stall, queue_stall, idle]` attribution arrays to the
+/// SpAL/SpBL/Writer unit states.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 4] = *b"MRCK";
 
@@ -263,6 +265,8 @@ pub(crate) struct SpAlState {
     pub(crate) pending_data: Vec<(u64, SpAlSpanState)>,
     pub(crate) staging: Vec<ATok>,
     pub(crate) in_flight: u64,
+    /// `[busy, mem_stall, queue_stall, idle]` cycle attribution.
+    pub(crate) attribution: [u64; 4],
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -291,6 +295,8 @@ pub(crate) struct SpBlState {
     pub(crate) in_flight: u64,
     pub(crate) blocked: [u64; 4],
     pub(crate) malformed: Option<(u32, u32)>,
+    /// `[busy, mem_stall, queue_stall, idle]` cycle attribution.
+    pub(crate) attribution: [u64; 4],
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -341,6 +347,8 @@ pub(crate) struct WriterState {
     pub(crate) entries_pushed: u64,
     pub(crate) fault_drop_append: Option<u64>,
     pub(crate) dropped_appends: u64,
+    /// `[busy, mem_stall, queue_stall, idle]` cycle attribution.
+    pub(crate) attribution: [u64; 4],
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -733,6 +741,7 @@ plain_struct!(SpAlState {
     pending_data,
     staging,
     in_flight,
+    attribution,
 });
 plain_struct!(JobState {
     seq,
@@ -757,6 +766,7 @@ plain_struct!(SpBlState {
     in_flight,
     blocked,
     malformed,
+    attribution,
 });
 plain_struct!(QueueSetState { queues, helper, occupied });
 plain_struct!(BreakdownState { busy, merge_stall, memory_stall, idle });
@@ -790,6 +800,7 @@ plain_struct!(WriterState {
     entries_pushed,
     fault_drop_append,
     dropped_appends,
+    attribution,
 });
 plain_struct!(LaneState { spal, spbl, pe, writer, spal_out, pe_in });
 plain_struct!(StreamFaultState { lane, target, seen, truncate, corrupt_to });

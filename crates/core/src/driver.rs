@@ -527,6 +527,7 @@ impl<'a> Driver<'a> {
                 overflow_padding_entries: 0,
                 phase1_cycles: 0,
                 phase2_cycles: 0,
+                per_lane_attribution: Vec::new(),
             },
             c,
         }

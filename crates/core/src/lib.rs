@@ -73,6 +73,7 @@ mod spal;
 mod spbl;
 mod stats;
 mod tokens;
+mod trace;
 mod writer;
 
 pub use accel::{Accelerator, DeadlineRun, FailedRun, RunOutcome};
@@ -92,4 +93,5 @@ pub use fault::{classify, FaultKind, FaultPlan, Verdict};
 pub use pe::Pe;
 pub use spal::SpAl;
 pub use spbl::SpBl;
-pub use stats::MatRaptorStats;
+pub use stats::{LaneAttribution, MatRaptorStats};
+pub use trace::{ChannelTimeline, ChannelWindow, LaneTimeline, LaneWindow, RunTrace, TraceConfig};

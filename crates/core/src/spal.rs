@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use matraptor_sim::trace::{StageBreakdown, StageClass};
 use matraptor_sim::watchdog::mix_signature;
 use matraptor_sparse::C2sr;
 
@@ -42,6 +43,9 @@ pub struct SpAl {
     max_outstanding: usize,
     /// Cap on decoded-but-unforwarded tokens, bounding lookahead.
     staging_cap: usize,
+    /// Per-cycle attribution: exactly one bucket is charged per tick, so
+    /// the buckets sum to the cycles this unit was ticked.
+    attribution: StageBreakdown,
 }
 
 /// Which entries of which row a data response carries.
@@ -75,6 +79,7 @@ impl SpAl {
             // latency-critical B reads from every other lane, so running
             // hundreds of rows ahead only inflates queueing delay.
             staging_cap: 2 * cfg.coupling_fifo_depth,
+            attribution: StageBreakdown::default(),
         }
     }
 
@@ -115,15 +120,22 @@ impl SpAl {
         out: &mut VecDeque<ATok>,
         out_cap: usize,
     ) {
+        // Attribution bookkeeping only — `moved` never gates behaviour, so
+        // the traced and untraced dynamics are identical by construction.
+        let mut moved = false;
+
         // Forward one decoded token per cycle.
         if out.len() < out_cap {
             if let Some(tok) = self.staging.pop_front() {
                 out.push_back(tok);
+                moved = true;
             }
         }
 
         if self.staging.len() >= self.staging_cap {
-            return; // downstream backpressure: stop fetching ahead
+            // downstream backpressure: stop fetching ahead
+            self.attribution.charge(if moved { StageClass::Busy } else { StageClass::QueueStall });
+            return;
         }
 
         // Prefetch row infos (up to a short lookahead window).
@@ -138,6 +150,7 @@ impl SpAl {
                     self.pending_info.insert(id, self.info_cursor);
                     self.in_flight += 1;
                     self.info_cursor += 1;
+                    moved = true;
                 }
                 None => break,
             }
@@ -165,6 +178,7 @@ impl SpAl {
                     }
                     self.staging.push_back(ATok::EmptyRow { row: row as u32 });
                     self.data_cursor += 1;
+                    moved = true;
                     continue;
                 }
                 self.current_plan = layout
@@ -197,12 +211,35 @@ impl SpAl {
                     None => break,
                 }
             }
+            if progressed {
+                moved = true;
+            }
             if self.current_plan.is_empty() && progressed {
                 self.data_cursor += 1;
                 continue;
             }
             break;
         }
+
+        // Classify the cycle. Priority: any token or request movement is
+        // Busy; a finished unit is Idle; a unit that only failed to
+        // forward because the downstream FIFO is full is queue-stalled;
+        // everything else (responses in flight, refused requests) is
+        // memory-stalled.
+        self.attribution.charge(if moved {
+            StageClass::Busy
+        } else if self.is_done() {
+            StageClass::Idle
+        } else if !self.staging.is_empty() && out.len() >= out_cap {
+            StageClass::QueueStall
+        } else {
+            StageClass::MemStall
+        });
+    }
+
+    /// Per-cycle busy/stall attribution for this unit.
+    pub(crate) fn attribution(&self) -> &StageBreakdown {
+        &self.attribution
     }
 
     /// Whether every assigned row has been fetched and forwarded.
@@ -268,6 +305,7 @@ impl SpAl {
                 .collect(),
             staging: self.staging.iter().copied().collect(),
             in_flight: self.in_flight as u64,
+            attribution: self.attribution.as_array(),
         }
     }
 
@@ -302,5 +340,6 @@ impl SpAl {
             .collect();
         self.staging = state.staging.iter().copied().collect();
         self.in_flight = state.in_flight as usize;
+        self.attribution = StageBreakdown::from_array(state.attribution);
     }
 }

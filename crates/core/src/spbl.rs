@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use matraptor_sim::trace::{StageBreakdown, StageClass};
 use matraptor_sim::watchdog::mix_signature;
 use matraptor_sparse::C2sr;
 
@@ -39,6 +40,8 @@ pub struct SpBl {
     /// matrix — a corrupted stream. `(col, bound)`; the accelerator
     /// polls this and aborts with `SimError::MalformedInput`.
     malformed: Option<(u32, u32)>,
+    /// Per-cycle attribution: exactly one bucket is charged per tick.
+    attribution: StageBreakdown,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +92,7 @@ impl SpBl {
             job_window: 32,
             blocked: [0; 4],
             malformed: None,
+            attribution: StageBreakdown::default(),
         }
     }
 
@@ -117,7 +121,10 @@ impl SpBl {
         self.jobs.get_mut(idx)
     }
 
-    /// One accelerator cycle.
+    /// One accelerator cycle. `upstream_done` reports whether this lane's
+    /// SpAL has fully finished, which disambiguates "idle because the
+    /// pipeline is draining" from "queue-stalled on a starved input FIFO"
+    /// in the cycle attribution — it gates no behaviour.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn tick(
         &mut self,
@@ -128,11 +135,16 @@ impl SpBl {
         input: &mut VecDeque<ATok>,
         out: &mut VecDeque<PeTok>,
         out_cap: usize,
+        upstream_done: bool,
     ) {
+        // Attribution bookkeeping only — never gates behaviour.
+        let mut moved = false;
+
         // Forward one token per cycle to the PE.
         if out.len() < out_cap {
             if let Some(tok) = self.staging.pop_front() {
                 out.push_back(tok);
+                moved = true;
             }
         }
 
@@ -181,6 +193,7 @@ impl SpBl {
             };
             self.jobs.push_back(job);
             self.next_seq += 1;
+            moved = true;
         }
 
         // Issue info and data requests in job order.
@@ -202,6 +215,7 @@ impl SpBl {
                         self.pending_info.insert(id, seq);
                         self.in_flight += 1;
                         self.jobs[idx].info_requested = true;
+                        moved = true;
                     }
                     continue;
                 }
@@ -224,6 +238,7 @@ impl SpBl {
                                 let count = (bytes as u64 / layout.entry_bytes) as u32;
                                 self.pending_data.insert(id, DataSpan { job_seq: seq, count });
                                 self.in_flight += 1;
+                                moved = true;
                             }
                             None => break,
                         }
@@ -251,6 +266,7 @@ impl SpBl {
                 JobKind::EmptyRow => {
                     self.staging.push_back(PeTok::EndOfRow { row: front.out_row });
                     self.jobs.pop_front();
+                    moved = true;
                 }
                 JobKind::Fetch => {
                     if !front.info_ready || front.plan.is_none() {
@@ -278,6 +294,7 @@ impl SpBl {
                             self.staging.push_back(PeTok::EndOfRow { row: front.out_row });
                         }
                         self.jobs.pop_front();
+                        moved = true;
                     } else {
                         if !drained_any {
                             self.blocked[0] += 1;
@@ -287,6 +304,34 @@ impl SpBl {
                 }
             }
         }
+        moved |= drained_any;
+
+        // Classify the cycle. Movement of any token, request, or job is
+        // Busy. A fully drained unit is Idle once SpAL has finished, and
+        // queue-stalled (starved input FIFO) while it has not. Otherwise
+        // the stall is a queue stall when the only obstruction is a full
+        // staging/output FIFO, and a memory stall when the front job is
+        // waiting on row info or data responses.
+        self.attribution.charge(if moved {
+            StageClass::Busy
+        } else if self.jobs.is_empty() && self.staging.is_empty() && self.in_flight == 0 {
+            if upstream_done {
+                StageClass::Idle
+            } else {
+                StageClass::QueueStall
+            }
+        } else if (!self.staging.is_empty() && out.len() >= out_cap)
+            || self.staging.len() >= self.staging_cap
+        {
+            StageClass::QueueStall
+        } else {
+            StageClass::MemStall
+        });
+    }
+
+    /// Per-cycle busy/stall attribution for this unit.
+    pub(crate) fn attribution(&self) -> &StageBreakdown {
+        &self.attribution
     }
 
     #[doc(hidden)]
@@ -373,6 +418,7 @@ impl SpBl {
             in_flight: self.in_flight as u64,
             blocked: self.blocked,
             malformed: self.malformed,
+            attribution: self.attribution.as_array(),
         }
     }
 
@@ -408,5 +454,6 @@ impl SpBl {
         self.in_flight = state.in_flight as usize;
         self.blocked = state.blocked;
         self.malformed = state.malformed;
+        self.attribution = StageBreakdown::from_array(state.attribution);
     }
 }

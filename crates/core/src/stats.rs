@@ -1,6 +1,32 @@
 //! Run statistics: the raw material for Figs. 7, 8, 9 and 11.
 
 use matraptor_sim::stats::CycleBreakdown;
+use matraptor_sim::trace::StageBreakdown;
+
+/// Per-lane, per-stage cycle attribution for one run.
+///
+/// Each breakdown charges exactly one bucket per accelerator cycle, so on
+/// a completed run every stage's `total()` equals
+/// [`MatRaptorStats::total_cycles`] — the invariant the `trace_report`
+/// bench bin asserts across the whole synthetic suite.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LaneAttribution {
+    /// SpAL (A-loader) attribution.
+    pub spal: StageBreakdown,
+    /// SpBL (B-loader) attribution.
+    pub spbl: StageBreakdown,
+    /// PE attribution (the PE's merge stall maps to queue-stall).
+    pub pe: StageBreakdown,
+    /// Writer attribution.
+    pub writer: StageBreakdown,
+}
+
+impl LaneAttribution {
+    /// The four stages as `(name, breakdown)` pairs, in pipeline order.
+    pub fn stages(&self) -> [(&'static str, &StageBreakdown); 4] {
+        [("spal", &self.spal), ("spbl", &self.spbl), ("pe", &self.pe), ("writer", &self.writer)]
+    }
+}
 
 /// Everything measured during one accelerator run.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +64,8 @@ pub struct MatRaptorStats {
     pub phase1_cycles: u64,
     /// Cycles with Phase II active (any PE).
     pub phase2_cycles: u64,
+    /// Per-lane, per-stage busy/mem-stall/queue-stall/idle attribution.
+    pub per_lane_attribution: Vec<LaneAttribution>,
 }
 
 impl MatRaptorStats {
@@ -137,6 +165,7 @@ mod tests {
             overflow_padding_entries: 0,
             phase1_cycles: 1_500,
             phase2_cycles: 300,
+            per_lane_attribution: vec![],
         }
     }
 

@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
+use matraptor_sim::trace::{StageBreakdown, StageClass};
 use matraptor_sim::watchdog::mix_signature;
 
 use crate::checkpoint::WriterState;
@@ -53,6 +54,8 @@ pub(crate) struct Writer {
     pub(crate) fault_drop_append: Option<u64>,
     /// Appends actually dropped by the fault (campaign reporting).
     pub(crate) dropped_appends: u64,
+    /// Per-cycle attribution: exactly one bucket is charged per tick.
+    attribution: StageBreakdown,
 }
 
 impl Writer {
@@ -73,6 +76,7 @@ impl Writer {
             entries_pushed: 0,
             fault_drop_append: None,
             dropped_appends: 0,
+            attribution: StageBreakdown::default(),
         }
     }
 
@@ -156,12 +160,29 @@ impl Writer {
 
     /// One accelerator cycle: issue at most one queued write.
     pub(crate) fn tick(&mut self, port: &mut MemPort<'_>) {
+        let mut issued = false;
         if let Some(&(addr, bytes)) = self.queue.front() {
             if let Some(id) = port.try_write(addr, bytes) {
                 self.pending.insert(id);
                 self.queue.pop_front();
+                issued = true;
             }
         }
+        // A writer with queued-but-refused or in-flight writes is waiting
+        // on memory; one merely assembling a row (or drained) has no work
+        // of its own and is idle.
+        self.attribution.charge(if issued {
+            StageClass::Busy
+        } else if !self.queue.is_empty() || !self.pending.is_empty() {
+            StageClass::MemStall
+        } else {
+            StageClass::Idle
+        });
+    }
+
+    /// Per-cycle busy/stall attribution for this unit.
+    pub(crate) fn attribution(&self) -> &StageBreakdown {
+        &self.attribution
     }
 
     /// Routes a write acknowledgement. Returns `true` if consumed.
@@ -207,6 +228,7 @@ impl Writer {
             entries_pushed: self.entries_pushed,
             fault_drop_append: self.fault_drop_append,
             dropped_appends: self.dropped_appends,
+            attribution: self.attribution.as_array(),
         }
     }
 
@@ -224,5 +246,6 @@ impl Writer {
         self.entries_pushed = state.entries_pushed;
         self.fault_drop_append = state.fault_drop_append;
         self.dropped_appends = state.dropped_appends;
+        self.attribution = StageBreakdown::from_array(state.attribution);
     }
 }

@@ -502,6 +502,53 @@ mod tests {
         assert_eq!(hbm.stats(), twin.stats());
     }
 
+    #[test]
+    fn achieved_bandwidth_over_zero_window_is_zero_not_nan() {
+        let stats = HbmStats { bytes_read: 4096, bytes_written: 1024, ..HbmStats::default() };
+        // A zero-cycle window (e.g. a trace window closed before the first
+        // memory tick) must report 0, never NaN or infinity.
+        let bw = stats.achieved_bandwidth_gbs(0, 1.0);
+        assert_eq!(bw, 0.0);
+        assert!(bw.is_finite());
+        // Non-degenerate sanity: 5120 B over 256 cycles at 1 GHz = 20 GB/s.
+        assert!((stats.achieved_bandwidth_gbs(256, 1.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_channel_busy_cycles_do_not_double_count_across_restore() {
+        // The busy counter is cumulative and rides the snapshot; a restore
+        // must neither replay already-counted service (double-count) nor
+        // drop it. Pin this by comparing a paused-snapshot-restored run
+        // against an unpaused run of the same schedule, channel by channel.
+        let cfg = HbmConfig::default();
+        let submit_all = |hbm: &mut Hbm| {
+            for i in 0..8u64 {
+                assert!(hbm.submit(Cycle(0), MemRequest::read(i, i * 24, 24)));
+            }
+        };
+
+        let mut unpaused = Hbm::new(cfg.clone());
+        submit_all(&mut unpaused);
+        let _ = run_until_idle(&mut unpaused, 1000);
+
+        let mut paused = Hbm::new(cfg.clone());
+        submit_all(&mut paused);
+        for t in 0..10u64 {
+            paused.tick(Cycle(t));
+            let _ = paused.pop_response(Cycle(t));
+        }
+        let mut resumed = Hbm::restore(cfg, &paused.snapshot());
+        let _ = run_until_idle_from(&mut resumed, 10, 1000);
+
+        assert_eq!(
+            unpaused.channel_stats(),
+            resumed.channel_stats(),
+            "per-channel stats (incl. busy_cycles) must match the unpaused run"
+        );
+        assert_eq!(unpaused.stats().busy_cycles, resumed.stats().busy_cycles);
+        assert_eq!(unpaused.stats(), resumed.stats());
+    }
+
     fn run_until_idle_from(hbm: &mut Hbm, from: u64, limit: u64) -> (Vec<(u64, MemResponse)>, u64) {
         let mut responses = Vec::new();
         let mut t = from;

@@ -146,6 +146,14 @@ impl JobRecord {
     pub fn service_cycles(&self) -> u64 {
         self.finished_at.0.saturating_sub(self.started_at.0)
     }
+
+    /// Cycles of deadline budget left unspent at resolution — zero for a
+    /// job that ran to (or past) its deadline. The SLO headroom metric:
+    /// a fleet whose slack distribution collapses toward zero is about to
+    /// start missing deadlines.
+    pub fn deadline_slack(&self) -> u64 {
+        self.deadline_cycles.saturating_sub(self.service_cycles())
+    }
 }
 
 /// Admission-time flop estimate: the scalar-multiply count of the row-wise
@@ -203,8 +211,11 @@ mod tests {
         };
         assert_eq!(r.queue_wait(), 50);
         assert_eq!(r.service_cycles(), 250);
+        assert_eq!(r.deadline_slack(), 750);
         let backwards = JobRecord { started_at: Cycle(50), ..r };
         assert_eq!(backwards.queue_wait(), 0);
+        let blown = JobRecord { deadline_cycles: 100, ..r };
+        assert_eq!(blown.deadline_slack(), 0, "a blown deadline has no slack, not underflow");
     }
 
     #[test]

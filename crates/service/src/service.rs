@@ -4,6 +4,7 @@ use matraptor_core::{
     classify, fingerprint_inputs, Accelerator, ConfigError, Driver, DriverError, MatRaptorConfig,
     MtxWrite, RunOutcome, SimError, Verdict,
 };
+use matraptor_sim::trace::MetricsRegistry;
 use matraptor_sim::{Cycle, SimClock};
 use matraptor_sparse::spgemm;
 
@@ -239,6 +240,53 @@ impl Service {
     /// Distinct operand pairs quarantined so far.
     pub fn quarantined_inputs(&self) -> usize {
         self.quarantine.quarantined_count()
+    }
+
+    /// Snapshots the service into the workspace's single metrics registry
+    /// vocabulary: every [`ServiceCounters`] field plus breaker/quarantine
+    /// state as `service.*` counters, per-tenant dispositions as
+    /// `tenant.<i>.*` counters, and the per-job queue-wait, service-cycle,
+    /// and deadline-slack distributions as histograms (global and
+    /// per-tenant). Deterministic: the registry's JSON rendering — and
+    /// hence its fingerprint — is a pure function of service history, so
+    /// it can ride a `--strict` replay gate.
+    pub fn metrics(&self) -> MetricsRegistry {
+        // Power-of-4 cycle buckets: wide enough for deadline-scale values
+        // (base deadlines are ~1e6 cycles) while still resolving the short
+        // waits of an idle service.
+        const CYCLE_BOUNDS: [u64; 10] =
+            [16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304];
+        let mut m = MetricsRegistry::new();
+        let c = &self.counters;
+        for (name, value) in [
+            ("service.submitted", c.submitted),
+            ("service.accepted", c.accepted),
+            ("service.rejected_queue_full", c.rejected_queue_full),
+            ("service.rejected_quarantined", c.rejected_quarantined),
+            ("service.rejected_invalid", c.rejected_invalid),
+            ("service.completed_accel", c.completed_accel),
+            ("service.completed_cpu", c.completed_cpu),
+            ("service.deadline_exceeded", c.deadline_exceeded),
+            ("service.failed", c.failed),
+            ("service.retries", c.retries),
+            ("service.escapes", c.escapes),
+            ("service.pending", self.sched.len() as u64),
+            ("service.quarantined_inputs", self.quarantine.quarantined_count() as u64),
+            ("service.breaker_transitions", self.breaker.transitions().len() as u64),
+        ] {
+            m.set_counter(name, value);
+        }
+        for r in &self.records {
+            let t = r.tenant.0;
+            m.add_counter(&format!("tenant.{t}.{}", r.disposition.label()), 1);
+            m.record("job.queue_wait", &CYCLE_BOUNDS, r.queue_wait());
+            m.record("job.service_cycles", &CYCLE_BOUNDS, r.service_cycles());
+            m.record("job.deadline_slack", &CYCLE_BOUNDS, r.deadline_slack());
+            m.record(&format!("tenant.{t}.queue_wait"), &CYCLE_BOUNDS, r.queue_wait());
+            m.record(&format!("tenant.{t}.service_cycles"), &CYCLE_BOUNDS, r.service_cycles());
+            m.record(&format!("tenant.{t}.deadline_slack"), &CYCLE_BOUNDS, r.deadline_slack());
+        }
+        m
     }
 
     /// Submit a job. Admission is synchronous and total: the result is
@@ -565,6 +613,35 @@ mod tests {
             other => panic!("expected UnknownTenant, got {other:?}"),
         }
         assert_eq!(s.counters().rejected_invalid, 2);
+    }
+
+    #[test]
+    fn metrics_registry_reconciles_and_fingerprints_deterministically() {
+        let run = || {
+            let mut s = Service::new(ServiceConfig::small_test()).unwrap();
+            for i in 0..3 {
+                s.submit(spec(i % 2, 60 + i as u64, None)).unwrap();
+            }
+            while s.step().is_some() {}
+            s
+        };
+        let s = run();
+        let m = s.metrics();
+        assert_eq!(m.counter("service.submitted"), Some(3));
+        assert_eq!(m.counter("service.completed_accel"), Some(3));
+        assert_eq!(m.counter("service.pending"), Some(0));
+        assert_eq!(m.counter("tenant.0.completed"), Some(2));
+        assert_eq!(m.counter("tenant.1.completed"), Some(1));
+        // One histogram sample per resolved job, and slack bounded by the
+        // deadline for every completed job.
+        assert_eq!(m.histogram("job.queue_wait").unwrap().total(), 3);
+        assert_eq!(m.histogram("job.deadline_slack").unwrap().total(), 3);
+        for r in s.records() {
+            assert!(r.deadline_slack() <= r.deadline_cycles);
+        }
+        // Same history → byte-identical rendering → same fingerprint.
+        assert_eq!(m.fingerprint(), run().metrics().fingerprint());
+        assert_eq!(m.to_json(), run().metrics().to_json());
     }
 
     #[test]

@@ -25,7 +25,11 @@
 //!   configured window (the deadlock guard of the fault-injection
 //!   subsystem);
 //! * [`stats`] — counters and histograms for cycle accounting (Fig. 9's
-//!   busy/stall breakdown is built from these).
+//!   busy/stall breakdown is built from these);
+//! * [`trace`] — observability primitives: the canonical per-stage
+//!   busy / mem-stall / queue-stall / idle attribution, a
+//!   `chrome://tracing` event buffer, and a deterministic, fingerprintable
+//!   metrics registry.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -34,6 +38,7 @@ mod clock;
 mod fifo;
 mod latency;
 pub mod stats;
+pub mod trace;
 pub mod watchdog;
 
 pub use clock::{Cycle, SimClock};
