@@ -1,0 +1,64 @@
+//! Validates that stdin (or each file argument) is well-formed JSON.
+//!
+//! A thin CLI over [`matraptor_bench::json::validate`] — the same std-only
+//! RFC 8259 checker the campaign binaries gate their own reports with —
+//! so CI can pipe any hand-assembled JSON artifact through it:
+//!
+//! ```text
+//! cargo run -p matraptor-conformance -- --json | cargo run -p matraptor-bench --bin json_lint
+//! cargo run -p matraptor-bench --bin json_lint -- report.json trace.json
+//! ```
+//!
+//! Exit status 0 when every input parses, 1 on the first malformed input,
+//! 2 on I/O errors.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use matraptor_bench::json::validate;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "json_lint: validate JSON well-formedness (std-only RFC 8259 walk)\n\n\
+             USAGE: json_lint [FILE...]   (no FILEs: read stdin)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() {
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("json_lint: error: failed to read stdin: {e}");
+            return ExitCode::from(2);
+        }
+        return check("<stdin>", &text);
+    }
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("json_lint: error: failed to read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let status = check(path, &text);
+        if status != ExitCode::SUCCESS {
+            return status;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn check(name: &str, text: &str) -> ExitCode {
+    match validate(text) {
+        Ok(()) => {
+            println!("json_lint: {name}: ok ({} bytes)", text.len());
+            ExitCode::SUCCESS
+        }
+        Err((offset, msg)) => {
+            eprintln!("json_lint: {name}: malformed JSON at byte {offset}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

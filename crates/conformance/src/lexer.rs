@@ -1,0 +1,371 @@
+//! A std-only Rust lexer for the source-model rules.
+//!
+//! Produces a line-numbered token stream with comments and literal
+//! *contents* removed: string/char literals become opaque [`TokKind::Str`]
+//! / [`TokKind::Char`] tokens, so a rule matching `HashMap` or `.unwrap()`
+//! can never fire on prose. Handles the constructs that trip substring
+//! scanners: line and nested block comments, doc comments, escapes,
+//! raw strings (`r#"…"#`), byte strings, and the char-literal vs
+//! lifetime ambiguity (`'a'` vs `&'a str`).
+//!
+//! Multi-character operators (`::`, `->`, `+=`, `..`, …) are emitted as a
+//! single [`TokKind::Punct`] token, so rules can match `Instant::now` as
+//! three tokens and `+=` without worrying about adjacency.
+
+use crate::workspace::is_char_literal;
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `return`, `HashMap`, …).
+    Ident,
+    /// A lifetime (`'a`); the text excludes the quote.
+    Lifetime,
+    /// Integer or float literal, suffix included.
+    Num,
+    /// A string literal (plain, raw, or byte); contents are discarded.
+    Str,
+    /// A char or byte-char literal; contents are discarded.
+    Char,
+    /// An operator or delimiter, possibly multi-character (`::`, `+=`).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// The lexeme text (`""` for string/char literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: [&str; 24] = [
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lexes Rust source into a token stream. Never fails: unterminated
+/// literals are closed at end of input, and unrecognised bytes become
+/// single-character puncts — rules degrade gracefully on odd input
+/// instead of aborting the whole conformance run.
+pub fn lex(text: &str) -> Vec<Tok> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut level = 1;
+                i += 2;
+                while i < chars.len() && level > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        level += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        level -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                toks.push(Tok { kind: TokKind::Str, text: String::new(), line });
+                i = skip_string(&chars, i + 1, &mut line);
+            }
+            '\'' => {
+                if is_char_literal(&chars, i) {
+                    toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                    i = skip_char(&chars, i + 1);
+                } else {
+                    // Lifetime: quote + identifier.
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < chars.len() && is_ident_char(chars[j]) {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: chars[start..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i = skip_number(&chars, i);
+                toks.push(Tok { kind: TokKind::Num, text: chars[start..i].iter().collect(), line });
+            }
+            c if is_ident_start(c) => {
+                // Literal prefixes: r"…", r#"…"#, b"…", br"…", b'…'.
+                if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+                    toks.push(Tok { kind: TokKind::Str, text: String::new(), line });
+                    i = skip_raw_string(&chars, i, &mut line);
+                    continue;
+                }
+                if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                    toks.push(Tok { kind: TokKind::Str, text: String::new(), line });
+                    i = skip_string(&chars, i + 2, &mut line);
+                    continue;
+                }
+                if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                    toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                    i = skip_char(&chars, i + 2);
+                    continue;
+                }
+                // Raw identifier r#ident: strip the prefix.
+                let start = if c == 'r'
+                    && chars.get(i + 1) == Some(&'#')
+                    && chars.get(i + 2).is_some_and(|&c| is_ident_start(c))
+                {
+                    i + 2
+                } else {
+                    i
+                };
+                let mut j = start;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                let mut matched = false;
+                for op in MULTI_PUNCT {
+                    let op_chars: Vec<char> = op.chars().collect();
+                    if chars[i..].starts_with(&op_chars[..]) {
+                        toks.push(Tok { kind: TokKind::Punct, text: op.to_string(), line });
+                        i += op_chars.len();
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+                    i += 1;
+                }
+            }
+        }
+    }
+    toks
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Skips past a `"…"` body starting *after* the opening quote; returns the
+/// index after the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips past a `'…'` body starting *after* the opening quote.
+fn skip_char(chars: &[char], mut i: usize) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// True at `r`/`b` when the following characters open a raw (byte) string:
+/// `r"`, `r#…#"`, `br"`, `br#…#"`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    if chars[i] == 'b' {
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Skips a raw string starting at its `r`/`b` prefix; returns the index
+/// after the closing quote+hashes.
+fn skip_raw_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    if chars[i] == 'b' {
+        i += 1;
+    }
+    i += 1; // r
+    let mut hashes = 0;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0;
+            while seen < hashes && chars.get(j) == Some(&'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips a numeric literal: integers, floats, hex/oct/bin, `_` separators,
+/// type suffixes, and exponents. Careful not to eat `..` ranges or method
+/// calls on integers (`1.max(2)`).
+fn skip_number(chars: &[char], mut i: usize) -> usize {
+    let mut seen_dot = false;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_ascii_alphanumeric() || c == '_' {
+            // Exponent sign: 1e-3, 2.5E+7.
+            if (c == 'e' || c == 'E')
+                && chars.get(i + 1).is_some_and(|&s| s == '+' || s == '-')
+                && chars.get(i + 2).is_some_and(|s| s.is_ascii_digit())
+            {
+                i += 2;
+            }
+            i += 1;
+        } else if c == '.' && !seen_dot && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit()) {
+            seen_dot = true;
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_vanish() {
+        let toks = lex("let x = \"HashMap\"; // Instant::now\n/* panic! */ let y;");
+        assert!(toks.iter().all(|t| t.text != "HashMap" && t.text != "panic"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn doc_comments_vanish() {
+        assert_eq!(idents("/// mentions .unwrap()\n//! and HashSet\nfn f() {}"), ["fn", "f"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = lex(r##"let s = r#"thread_rng " quote"#; let b = b"x"; let c = b'y';"##);
+        assert!(toks.iter().all(|t| t.text != "thread_rng"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'q'; }");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+        assert!(toks.iter().all(|t| t.text != "q"));
+    }
+
+    #[test]
+    fn multi_char_puncts_fuse() {
+        let toks = lex("a += b; c::d(); e -> f; 0..n");
+        let puncts: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Punct).map(|t| t.text.as_str()).collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"->"));
+        assert!(puncts.contains(&".."));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = lex("for i in 0..8 { 1.max(2); 2.5e-3; 0xFFu64; }");
+        let nums: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text.as_str()).collect();
+        assert_eq!(nums, ["0", "8", "1", "2", "2.5e-3", "0xFFu64"]);
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let toks = lex("fn a() {}\n/* two\nlines */ fn b() {}\nlet s = \"x\ny\"; fn c() {}");
+        let line_of = |name: &str| toks.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 3);
+        assert_eq!(line_of("c"), 5);
+    }
+
+    #[test]
+    fn raw_identifier_strips_prefix() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+}

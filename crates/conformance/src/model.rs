@@ -1,0 +1,579 @@
+//! Item-level source model: structs with field lists, impl blocks with
+//! method bodies as token streams, and top-level macro invocations.
+//!
+//! Built once per conformance run from the lexed token stream of every
+//! workspace source file. The parser is deliberately *lightweight* — it
+//! recognises exactly the item shapes the rules consume (named-field
+//! structs, inherent/trait impl methods, free functions, `name!(...)`
+//! calls) and walks through everything else by brace matching. It never
+//! fails: source it cannot make sense of simply contributes no items,
+//! which a rule sees as "nothing to audit" rather than a crash.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::workspace::Workspace;
+
+/// One named struct field.
+#[derive(Debug)]
+pub struct FieldDef {
+    pub name: String,
+    /// 1-based line of the field declaration.
+    pub line: usize,
+    /// The field's type as joined token text, e.g. `Vec < u32 >`.
+    pub ty: String,
+}
+
+/// A struct with named fields. Tuple and unit structs are not modelled —
+/// no rule audits them.
+#[derive(Debug)]
+pub struct StructDef {
+    pub name: String,
+    pub line: usize,
+    pub fields: Vec<FieldDef>,
+}
+
+/// A function: a free `fn`, or a method when `self_ty` is set.
+#[derive(Debug)]
+pub struct FnDef {
+    pub name: String,
+    pub line: usize,
+    /// Base type name of the surrounding `impl` block, if any.
+    pub self_ty: Option<String>,
+    /// Signature parameter tokens (between the parentheses).
+    pub params: Vec<Tok>,
+    /// Body tokens, exclusive of the outer braces. Empty for
+    /// declarations (`fn f();`).
+    pub body: Vec<Tok>,
+}
+
+impl FnDef {
+    /// True when any body token is the identifier `name` — the coverage
+    /// test the checkpoint auditor applies per field.
+    pub fn body_mentions(&self, name: &str) -> bool {
+        self.body.iter().any(|t| t.is_ident(name))
+    }
+}
+
+/// A `name!(...)` / `name! {...}` invocation at item position.
+#[derive(Debug)]
+pub struct MacroCall {
+    pub name: String,
+    pub line: usize,
+    /// Tokens inside the delimiters.
+    pub tokens: Vec<Tok>,
+}
+
+/// The model of one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Path relative to the workspace root (matches `SourceFile::rel`).
+    pub rel: String,
+    /// Short crate name, as in `SourceFile::crate_name`.
+    pub crate_name: Option<String>,
+    /// The full token stream, for rules that scan rather than parse.
+    pub tokens: Vec<Tok>,
+    pub structs: Vec<StructDef>,
+    pub fns: Vec<FnDef>,
+    pub macro_calls: Vec<MacroCall>,
+}
+
+/// The whole-workspace source model.
+#[derive(Debug, Default)]
+pub struct SourceModel {
+    pub files: Vec<FileModel>,
+}
+
+impl SourceModel {
+    /// Lexes and parses every source file of an already-loaded workspace.
+    pub fn build(ws: &Workspace) -> SourceModel {
+        let files = ws
+            .sources
+            .iter()
+            .map(|src| {
+                let text: Vec<&str> = src.lines.iter().map(|l| l.raw.as_str()).collect();
+                let tokens = lex(&text.join("\n"));
+                let mut fm = FileModel {
+                    rel: src.rel.clone(),
+                    crate_name: src.crate_name.clone(),
+                    tokens,
+                    structs: Vec::new(),
+                    fns: Vec::new(),
+                    macro_calls: Vec::new(),
+                };
+                parse_items(&mut fm);
+                fm
+            })
+            .collect();
+        SourceModel { files }
+    }
+
+    /// Looks up a struct by name. Files are searched in workspace order
+    /// (sorted by path), preferring a definition in `prefer_rel` when the
+    /// same name exists in several files.
+    pub fn find_struct(&self, name: &str, prefer_rel: &str) -> Option<(&FileModel, &StructDef)> {
+        let mut hit = None;
+        for f in &self.files {
+            if let Some(s) = f.structs.iter().find(|s| s.name == name) {
+                if f.rel == prefer_rel {
+                    return Some((f, s));
+                }
+                if hit.is_none() {
+                    hit = Some((f, s));
+                }
+            }
+        }
+        hit
+    }
+
+    /// All methods named `method` on type `self_ty` within crate `krate`.
+    pub fn methods_of<'a>(
+        &'a self,
+        krate: &str,
+        self_ty: &str,
+        method: &str,
+    ) -> Vec<(&'a FileModel, &'a FnDef)> {
+        let mut out = Vec::new();
+        for f in &self.files {
+            if f.crate_name.as_deref() != Some(krate) {
+                continue;
+            }
+            for func in &f.fns {
+                if func.self_ty.as_deref() == Some(self_ty) && func.name == method {
+                    out.push((f, func));
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Walks the token stream once, collecting items. `ctx` tracks the
+/// enclosing impl type while descending into impl/trait bodies.
+fn parse_items(fm: &mut FileModel) {
+    let toks = std::mem::take(&mut fm.tokens);
+    let mut i = 0;
+    let mut structs = Vec::new();
+    let mut fns = Vec::new();
+    let mut macros = Vec::new();
+    walk(&toks, &mut i, toks.len(), None, &mut structs, &mut fns, &mut macros);
+    fm.tokens = toks;
+    fm.structs = structs;
+    fm.fns = fns;
+    fm.macro_calls = macros;
+}
+
+/// Parses items in `toks[*i..end]`, leaving `*i` at `end`.
+fn walk(
+    toks: &[Tok],
+    i: &mut usize,
+    end: usize,
+    self_ty: Option<&str>,
+    structs: &mut Vec<StructDef>,
+    fns: &mut Vec<FnDef>,
+    macros: &mut Vec<MacroCall>,
+) {
+    while *i < end {
+        let t = &toks[*i];
+        if t.is_ident("macro_rules") {
+            // `macro_rules! name { … }` — skip entirely; the body is a
+            // token soup of fragments, not items.
+            *i += 1;
+            skip_until_open_brace(toks, i, end);
+            skip_balanced(toks, i, end, "{", "}");
+        } else if t.is_ident("struct") {
+            parse_struct(toks, i, end, structs);
+        } else if t.is_ident("impl") || t.is_ident("trait") {
+            let is_impl = t.is_ident("impl");
+            *i += 1;
+            skip_generics(toks, i, end);
+            let ty = if is_impl { parse_impl_type(toks, i, end) } else { None };
+            skip_until_open_brace_or_semi(toks, i, end);
+            if *i < end && toks[*i].is_punct("{") {
+                let body_end = matching_brace(toks, *i, end);
+                *i += 1;
+                walk(toks, i, body_end, ty.as_deref(), structs, fns, macros);
+                *i = (body_end + 1).min(end);
+            }
+        } else if t.is_ident("fn") {
+            parse_fn(toks, i, end, self_ty, fns);
+        } else if t.kind == TokKind::Ident
+            && *i + 1 < end
+            && toks[*i + 1].is_punct("!")
+            && *i + 2 < end
+            && (toks[*i + 2].is_punct("(")
+                || toks[*i + 2].is_punct("{")
+                || toks[*i + 2].is_punct("["))
+        {
+            let name = t.text.clone();
+            let line = t.line;
+            let open = &toks[*i + 2].text;
+            let close = match open.as_str() {
+                "(" => ")",
+                "[" => "]",
+                _ => "}",
+            };
+            *i += 2;
+            let start = *i + 1;
+            let close_idx = matching_delim(toks, *i, end, open, close);
+            macros.push(MacroCall { name, line, tokens: toks[start..close_idx.min(end)].to_vec() });
+            *i = (close_idx + 1).min(end);
+        } else if t.is_punct("#") {
+            // Attribute: `#[…]` or `#![…]`.
+            *i += 1;
+            if *i < end && toks[*i].is_punct("!") {
+                *i += 1;
+            }
+            if *i < end && toks[*i].is_punct("[") {
+                skip_balanced(toks, i, end, "[", "]");
+            }
+        } else if t.is_punct("{") {
+            // A nested block (mod body, const initializer…): recurse so
+            // items inside `mod` declarations are still collected.
+            let body_end = matching_brace(toks, *i, end);
+            *i += 1;
+            walk(toks, i, body_end, self_ty, structs, fns, macros);
+            *i = (body_end + 1).min(end);
+        } else {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_struct(toks: &[Tok], i: &mut usize, end: usize, structs: &mut Vec<StructDef>) {
+    *i += 1; // struct
+    let Some(name_tok) = toks.get(*i).filter(|t| t.kind == TokKind::Ident) else {
+        return;
+    };
+    let name = name_tok.text.clone();
+    let line = name_tok.line;
+    *i += 1;
+    skip_generics(toks, i, end);
+    // Skip a where clause: everything up to `{` or `;`.
+    while *i < end && !toks[*i].is_punct("{") && !toks[*i].is_punct(";") && !toks[*i].is_punct("(")
+    {
+        *i += 1;
+    }
+    if *i >= end || !toks[*i].is_punct("{") {
+        // Tuple or unit struct: not modelled; skip its parens if any.
+        if *i < end && toks[*i].is_punct("(") {
+            skip_balanced(toks, i, end, "(", ")");
+        }
+        return;
+    }
+    let body_end = matching_brace(toks, *i, end);
+    *i += 1;
+    let mut fields = Vec::new();
+    while *i < body_end {
+        // Skip attributes and visibility.
+        if toks[*i].is_punct("#") {
+            *i += 1;
+            if *i < body_end && toks[*i].is_punct("[") {
+                skip_balanced(toks, i, body_end, "[", "]");
+            }
+            continue;
+        }
+        if toks[*i].is_ident("pub") {
+            *i += 1;
+            if *i < body_end && toks[*i].is_punct("(") {
+                skip_balanced(toks, i, body_end, "(", ")");
+            }
+            continue;
+        }
+        if toks[*i].kind == TokKind::Ident && *i + 1 < body_end && toks[*i + 1].is_punct(":") {
+            let fname = toks[*i].text.clone();
+            let fline = toks[*i].line;
+            *i += 2;
+            let ty_start = *i;
+            // Type runs to the next top-level comma or the body end.
+            let mut depth = 0i64;
+            while *i < body_end {
+                let t = &toks[*i];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
+                    depth -= 1;
+                } else if t.is_punct(">>") {
+                    // `Vec<Vec<u32>>` lexes the closer as one token.
+                    depth -= 2;
+                } else if t.is_punct(",") && depth <= 0 {
+                    break;
+                }
+                *i += 1;
+            }
+            let ty =
+                toks[ty_start..*i].iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" ");
+            fields.push(FieldDef { name: fname, line: fline, ty });
+            if *i < body_end {
+                *i += 1; // comma
+            }
+        } else {
+            *i += 1;
+        }
+    }
+    *i = (body_end + 1).min(end);
+    structs.push(StructDef { name, line, fields });
+}
+
+/// After `impl` (+ generics), extracts the base type name: the final path
+/// segment of the implemented type — for `impl Tr for a::B<T>` that is
+/// `B`, for `impl Reader<'a>` it is `Reader`.
+fn parse_impl_type(toks: &[Tok], i: &mut usize, end: usize) -> Option<String> {
+    // Collect the pre-brace region, then look for `for`.
+    let mut j = *i;
+    let mut depth = 0i64;
+    let mut for_at = None;
+    while j < end {
+        let t = &toks[j];
+        if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if t.is_punct(">>") {
+            depth -= 2;
+        } else if depth == 0 && (t.is_punct("{") || t.is_ident("where")) {
+            break;
+        } else if depth == 0 && t.is_ident("for") {
+            for_at = Some(j);
+        }
+        j += 1;
+    }
+    let (start, stop) = match for_at {
+        Some(f) => (f + 1, j),
+        None => (*i, j),
+    };
+    *i = j;
+    // Base name: walk the path, taking the ident after the last `::` at
+    // depth 0 and stopping at generics.
+    let mut name = None;
+    let mut depth = 0i64;
+    let mut k = start;
+    while k < stop {
+        let t = &toks[k];
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") {
+            depth -= 1;
+        } else if depth == 0 && t.kind == TokKind::Ident && !t.is_ident("dyn") && !t.is_ident("mut")
+        {
+            name = Some(t.text.clone());
+        }
+        k += 1;
+    }
+    name
+}
+
+fn parse_fn(toks: &[Tok], i: &mut usize, end: usize, self_ty: Option<&str>, fns: &mut Vec<FnDef>) {
+    *i += 1; // fn
+    let Some(name_tok) = toks.get(*i).filter(|t| t.kind == TokKind::Ident) else {
+        return;
+    };
+    let name = name_tok.text.clone();
+    let line = name_tok.line;
+    *i += 1;
+    skip_generics(toks, i, end);
+    let mut params = Vec::new();
+    if *i < end && toks[*i].is_punct("(") {
+        let close = matching_delim(toks, *i, end, "(", ")");
+        params = toks[*i + 1..close.min(end)].to_vec();
+        *i = (close + 1).min(end);
+    }
+    // Return type / where clause: run to the body or a declaration `;`.
+    skip_until_open_brace_or_semi(toks, i, end);
+    let mut body = Vec::new();
+    if *i < end && toks[*i].is_punct("{") {
+        let body_end = matching_brace(toks, *i, end);
+        body = toks[*i + 1..body_end.min(end)].to_vec();
+        *i = (body_end + 1).min(end);
+    } else if *i < end {
+        *i += 1; // the `;`
+    }
+    fns.push(FnDef { name, line, self_ty: self_ty.map(str::to_string), params, body });
+}
+
+/// Skips a `<…>` generics group if one starts at `*i`.
+fn skip_generics(toks: &[Tok], i: &mut usize, end: usize) {
+    if *i >= end || !toks[*i].is_punct("<") {
+        return;
+    }
+    let mut depth = 0i64;
+    while *i < end {
+        let t = &toks[*i];
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") {
+            depth -= 1;
+            if depth == 0 {
+                *i += 1;
+                return;
+            }
+        } else if t.is_punct(">>") {
+            depth -= 2;
+            if depth <= 0 {
+                *i += 1;
+                return;
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Advances `*i` to the next `{` at the current nesting level.
+fn skip_until_open_brace(toks: &[Tok], i: &mut usize, end: usize) {
+    while *i < end && !toks[*i].is_punct("{") {
+        *i += 1;
+    }
+}
+
+/// Advances `*i` to the next top-level `{` or `;` (skipping over
+/// parenthesised and bracketed groups, e.g. in return types).
+fn skip_until_open_brace_or_semi(toks: &[Tok], i: &mut usize, end: usize) {
+    let mut depth = 0i64;
+    while *i < end {
+        let t = &toks[*i];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct("{") || t.is_punct(";")) {
+            return;
+        }
+        *i += 1;
+    }
+}
+
+/// Skips over a balanced `open … close` group starting at `*i` (which must
+/// sit on the opener), leaving `*i` just past the closer.
+fn skip_balanced(toks: &[Tok], i: &mut usize, end: usize, open: &str, close: &str) {
+    if *i < end && toks[*i].is_punct(open) {
+        *i = (matching_delim(toks, *i, end, open, close) + 1).min(end);
+    }
+}
+
+/// Index of the `}` matching the `{` at `open_idx` (or `end` if
+/// unbalanced).
+fn matching_brace(toks: &[Tok], open_idx: usize, end: usize) -> usize {
+    matching_delim(toks, open_idx, end, "{", "}")
+}
+
+/// Index of the closing delimiter matching the opener at `open_idx`.
+fn matching_delim(toks: &[Tok], open_idx: usize, end: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0i64;
+    let mut j = open_idx;
+    while j < end {
+        if toks[j].is_punct(open) {
+            depth += 1;
+        } else if toks[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model_of(src: &str) -> FileModel {
+        let mut fm = FileModel {
+            rel: "crates/core/src/lib.rs".into(),
+            crate_name: Some("core".into()),
+            tokens: lex(src),
+            structs: Vec::new(),
+            fns: Vec::new(),
+            macro_calls: Vec::new(),
+        };
+        parse_items(&mut fm);
+        fm
+    }
+
+    #[test]
+    fn struct_fields_with_lines_and_types() {
+        let fm = model_of(
+            "pub struct SpAl {\n    lane: usize,\n    /// doc\n    pub rows: Vec<u32>,\n    attribution: StageBreakdown,\n}",
+        );
+        assert_eq!(fm.structs.len(), 1);
+        let s = &fm.structs[0];
+        assert_eq!(s.name, "SpAl");
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["lane", "rows", "attribution"]);
+        assert_eq!(s.fields[1].line, 4);
+        assert!(s.fields[1].ty.contains("Vec"));
+        assert!(s.fields[2].ty.contains("StageBreakdown"));
+    }
+
+    #[test]
+    fn nested_generic_field_types_do_not_swallow_later_fields() {
+        let fm = model_of(
+            "struct QueueSetState {\n    queues: Vec<Vec<(u32, f64)>>,\n    helper: u64,\n    occupied: Vec<bool>,\n}",
+        );
+        let names: Vec<&str> = fm.structs[0].fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["queues", "helper", "occupied"]);
+    }
+
+    #[test]
+    fn tuple_structs_are_skipped() {
+        let fm = model_of("pub struct Cycle(pub u64);\npub struct Named { a: u8 }");
+        assert_eq!(fm.structs.len(), 1);
+        assert_eq!(fm.structs[0].name, "Named");
+    }
+
+    #[test]
+    fn inherent_and_trait_impl_methods() {
+        let fm = model_of(
+            "impl<'a> Reader<'a> { fn take(&mut self, n: usize) -> u8 { self.pos += n; 0 } }\n\
+             impl fmt::Display for Error { fn fmt(&self) { write!() } }\n\
+             fn free_fn(cfg: &Config) -> u64 { cfg.lanes }",
+        );
+        let take = fm.fns.iter().find(|f| f.name == "take").unwrap();
+        assert_eq!(take.self_ty.as_deref(), Some("Reader"));
+        assert!(take.body_mentions("pos"));
+        let fmt = fm.fns.iter().find(|f| f.name == "fmt").unwrap();
+        assert_eq!(fmt.self_ty.as_deref(), Some("Error"));
+        let free = fm.fns.iter().find(|f| f.name == "free_fn").unwrap();
+        assert_eq!(free.self_ty, None);
+        assert!(free.params.iter().any(|t| t.is_ident("Config")));
+    }
+
+    #[test]
+    fn impl_for_takes_the_type_not_the_trait() {
+        let fm = model_of("impl Enc for Vec<u32> { fn enc(&self) {} }");
+        // Base name resolution walks to the last path ident at depth 0.
+        assert_eq!(fm.fns[0].self_ty.as_deref(), Some("Vec"));
+    }
+
+    #[test]
+    fn macro_calls_captured_and_macro_rules_skipped() {
+        let fm = model_of(
+            "macro_rules! plain_struct { ($n:ident { $($f:ident),* }) => { struct Bogus; }; }\n\
+             plain_struct!(SpAlState { info_cursor, data_cursor });",
+        );
+        assert!(fm.structs.is_empty(), "macro_rules body must not be parsed as items");
+        let call = fm.macro_calls.iter().find(|m| m.name == "plain_struct").unwrap();
+        assert!(call.tokens.iter().any(|t| t.is_ident("info_cursor")));
+        assert_eq!(call.line, 2);
+    }
+
+    #[test]
+    fn nested_mods_are_descended() {
+        let fm = model_of("mod inner { pub struct Deep { x: u8 } fn g() {} }");
+        assert_eq!(fm.structs[0].name, "Deep");
+        assert!(fm.fns.iter().any(|f| f.name == "g"));
+    }
+
+    #[test]
+    fn methods_lookup_by_crate_and_type() {
+        let mut model = SourceModel::default();
+        model.files.push(model_of("impl Pe { fn snapshot(&self) -> u8 { self.fill } }"));
+        let hits = model.methods_of("core", "Pe", "snapshot");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].1.body_mentions("fill"));
+    }
+}

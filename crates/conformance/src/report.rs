@@ -1,7 +1,13 @@
 //! Report rendering: human-readable text and machine-readable JSON.
 //!
 //! The JSON emitter is hand-rolled (the workspace is std-only); output is
-//! deterministic — violations are sorted by file, line, rule.
+//! deterministic — violations are sorted by file, line, rule — and stamped
+//! with the workspace's shared FNV-1a-64 fingerprint
+//! ([`matraptor_sim::trace::fnv1a64`], the same definition the checkpoint
+//! checksum uses) so two runs over identical trees produce byte-identical,
+//! diffable reports.
+
+use matraptor_sim::trace::fnv1a64;
 
 use crate::rules::Violation;
 
@@ -24,6 +30,19 @@ impl Report {
     /// True when the workspace is clean.
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// FNV-1a-64 fingerprint of the findings: hashes the canonical
+    /// `file:line: [rule] message` rendering of every (sorted) violation
+    /// plus the suppression count. Two runs over identical trees agree;
+    /// any new, moved, or reworded finding changes the value.
+    pub fn fingerprint(&self) -> u64 {
+        let mut canon = String::new();
+        for v in &self.violations {
+            canon.push_str(&format!("{}:{}: [{}] {}\n", v.file, v.line, v.rule, v.message));
+        }
+        canon.push_str(&format!("suppressed={}\n", self.suppressed));
+        fnv1a64(canon.as_bytes())
     }
 
     /// Multi-line human-readable rendering.
@@ -82,6 +101,7 @@ impl Report {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str(&format!("  \"fingerprint\": \"{:#018x}\",\n", self.fingerprint()));
         out.push_str(&format!("  \"ok\": {}\n", self.is_clean()));
         out.push_str("}\n");
         out
@@ -146,5 +166,21 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn fingerprint_tracks_findings_and_uses_shared_hash() {
+        let base = sample();
+        let mut reworded = sample();
+        reworded.violations[0].message = "`HashSet` in simulator state".into();
+        assert_ne!(base.fingerprint(), reworded.fingerprint());
+        // Pin the construction to the shared workspace hash so the report
+        // fingerprint can never silently fork from the checkpoint/trace one.
+        let canon =
+            "crates/core/src/accel.rs:7: [determinism] `HashMap` in simulator state\nsuppressed=2\n";
+        assert_eq!(base.fingerprint(), fnv1a64(canon.as_bytes()));
+        assert!(base
+            .json()
+            .contains(&format!("\"fingerprint\": \"{:#018x}\"", base.fingerprint())));
     }
 }

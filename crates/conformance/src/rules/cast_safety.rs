@@ -1,0 +1,144 @@
+//! The cast/arithmetic-safety lint.
+//!
+//! Cycle and byte counters in the sim-state crates are monotone `u64`s
+//! that run for billions of cycles in the perf campaigns; a narrowing
+//! `as` cast or an unchecked `+`/`-` on one is a wrap waiting for a long
+//! workload. The lint flags, in non-test sim-state code:
+//!
+//! * narrowing casts — `counter as u32` (or any `u8`/`u16`/`i8`/`i16`/
+//!   `i32` target) where the cast source is a counter-like identifier;
+//! * `+=` / `-=` statements whose left-hand side names a counter-like
+//!   identifier;
+//! * binary `+` / `-` directly after a counter-like identifier.
+//!
+//! "Counter-like" is by name: contains `cycle`, `latency`, or `deadline`,
+//! contains `bytes`, or ends in `_sum`. The fix is `saturating_*` /
+//! `checked_*` (or `try_from` for casts); intentional wrapping or a
+//! provably-bounded value takes a `conformance:allow(cast-safety)`
+//! comment with the bound.
+
+use super::{sim_state_models, Rule, Violation};
+use crate::lexer::{Tok, TokKind};
+use crate::Analysis;
+
+pub struct CastSafety;
+
+/// Cast targets considered narrowing for a counter.
+const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Heuristic for "this identifier names a cycle/byte counter".
+fn counter_like(name: &str) -> bool {
+    name.contains("cycle")
+        || name.contains("latency")
+        || name.contains("deadline")
+        || name.contains("bytes")
+        || name.ends_with("_sum")
+}
+
+impl Rule for CastSafety {
+    fn name(&self) -> &'static str {
+        "cast-safety"
+    }
+    fn description(&self) -> &'static str {
+        "no narrowing `as` casts or unchecked +/- on cycle/byte counters in \
+         sim-state crates; use saturating_*/checked_*/try_from or justify \
+         with a conformance:allow comment"
+    }
+    fn check(&self, a: &Analysis) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for fm in sim_state_models(a) {
+            let toks = &fm.tokens;
+            for (i, t) in toks.iter().enumerate() {
+                if a.is_test_line(&fm.rel, t.line) {
+                    continue;
+                }
+                if t.is_ident("as") {
+                    check_cast(&fm.rel, toks, i, &mut out);
+                } else if t.is_punct("+=") || t.is_punct("-=") {
+                    check_compound(&fm.rel, toks, i, &mut out);
+                } else if t.is_punct("+") || t.is_punct("-") {
+                    check_binary(&fm.rel, toks, i, &mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn violation(file: &str, line: usize, message: String) -> Violation {
+    Violation { rule: "cast-safety", file: file.to_string(), line, message }
+}
+
+/// `counter as u32` — the token before `as` is a counter-like identifier
+/// and the target type is narrower than u64.
+fn check_cast(rel: &str, toks: &[Tok], i: usize, out: &mut Vec<Violation>) {
+    let (Some(src), Some(ty)) = (i.checked_sub(1).map(|j| &toks[j]), toks.get(i + 1)) else {
+        return;
+    };
+    if src.kind == TokKind::Ident
+        && counter_like(&src.text)
+        && ty.kind == TokKind::Ident
+        && NARROW_TARGETS.contains(&ty.text.as_str())
+    {
+        out.push(violation(
+            rel,
+            toks[i].line,
+            format!(
+                "narrowing cast `{} as {}` on a counter-like value; use \
+                 {}::try_from and handle the overflow (or justify with a \
+                 conformance:allow comment)",
+                src.text, ty.text, ty.text
+            ),
+        ));
+    }
+}
+
+/// `lhs += rhs;` / `lhs -= rhs;` where the left-hand side (scanned back to
+/// the start of the statement) names a counter-like identifier.
+fn check_compound(rel: &str, toks: &[Tok], i: usize, out: &mut Vec<Violation>) {
+    let mut j = i;
+    let mut hit: Option<&Tok> = None;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        if t.kind == TokKind::Ident && counter_like(&t.text) {
+            hit = Some(t);
+        }
+    }
+    if let Some(id) = hit {
+        let op = &toks[i].text;
+        let fix = if op == "+=" { "saturating_add" } else { "saturating_sub" };
+        out.push(violation(
+            rel,
+            toks[i].line,
+            format!(
+                "unchecked `{op}` on counter-like `{}`; use {fix} or checked_* \
+                 (or justify with a conformance:allow comment)",
+                id.text
+            ),
+        ));
+    }
+}
+
+/// Binary `+` / `-` whose left operand token is a counter-like identifier.
+fn check_binary(rel: &str, toks: &[Tok], i: usize, out: &mut Vec<Violation>) {
+    let Some(prev) = i.checked_sub(1).map(|j| &toks[j]) else {
+        return;
+    };
+    if prev.kind == TokKind::Ident && counter_like(&prev.text) {
+        let op = &toks[i].text;
+        let fix = if op == "+" { "saturating_add" } else { "saturating_sub" };
+        out.push(violation(
+            rel,
+            toks[i].line,
+            format!(
+                "unchecked `{op}` after counter-like `{}`; use {fix} or checked_* \
+                 (or justify with a conformance:allow comment)",
+                prev.text
+            ),
+        ));
+    }
+}

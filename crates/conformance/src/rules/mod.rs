@@ -1,8 +1,20 @@
-//! The rule registry: each rule walks the [`Workspace`] model and emits
-//! [`Violation`]s. Suppression via `conformance:allow(<rule>)` comments is
-//! applied centrally by the engine ([`crate::run`]), not by the rules.
+//! The rule registry: each rule walks the [`Analysis`] (workspace text
+//! model + lexed/parsed source model) and emits [`Violation`]s.
+//! Suppression via `conformance:allow(<rule>)` comments is applied
+//! centrally by the engine ([`crate::run`]), not by the rules.
 
-use crate::workspace::{contains_token, Manifest, SourceFile, Workspace};
+mod attribution;
+mod cast_safety;
+mod checkpoint_coverage;
+
+pub use attribution::AttributionTotality;
+pub use cast_safety::CastSafety;
+pub use checkpoint_coverage::CheckpointCoverage;
+
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+use crate::workspace::{Manifest, SourceFile};
+use crate::Analysis;
 
 /// First occurrence of `prefix` preceded by a word boundary (the text after
 /// it may be anything — this matches `matraptor_core` given `matraptor_`).
@@ -38,26 +50,46 @@ pub trait Rule {
     fn name(&self) -> &'static str;
     /// One-line description shown in reports.
     fn description(&self) -> &'static str;
-    /// Runs the rule over the workspace. Emits raw findings; suppression
-    /// is the engine's job.
-    fn check(&self, ws: &Workspace) -> Vec<Violation>;
+    /// Runs the rule over the analyzed workspace. Emits raw findings;
+    /// suppression is the engine's job.
+    fn check(&self, a: &Analysis) -> Vec<Violation>;
 }
 
 /// All rules, in report order.
 pub fn registry() -> Vec<Box<dyn Rule>> {
-    vec![Box::new(Determinism), Box::new(PanicSafety), Box::new(Layering), Box::new(DocDrift)]
+    vec![
+        Box::new(Determinism),
+        Box::new(PanicSafety),
+        Box::new(Layering),
+        Box::new(DocDrift),
+        Box::new(CheckpointCoverage),
+        Box::new(AttributionTotality),
+        Box::new(CastSafety),
+    ]
 }
 
 /// Crates holding cycle-level simulator state — or, for `service`,
 /// simulated-time scheduling state: any iteration-order or wall-clock
 /// dependence here silently breaks run-to-run reproducibility.
-const SIM_STATE_CRATES: [&str; 4] = ["core", "sim", "mem", "service"];
+pub(crate) const SIM_STATE_CRATES: [&str; 4] = ["core", "sim", "mem", "service"];
+
+/// Source-model files of the sim-state crates (library code only — tests
+/// and benches are exempt like everywhere else in the suite).
+pub(crate) fn sim_state_models(a: &Analysis) -> impl Iterator<Item = &FileModel> {
+    a.model.files.iter().filter(|f| {
+        f.crate_name.as_deref().is_some_and(|c| SIM_STATE_CRATES.contains(&c))
+            && f.rel.contains("/src/")
+    })
+}
 
 // ---------------------------------------------------------------------------
 // determinism
 // ---------------------------------------------------------------------------
 
 /// Forbids non-deterministic constructs in simulator-state crates.
+///
+/// Runs on the lexed token stream, so `HashMap` in a doc comment or an
+/// error-message string can never fire.
 pub struct Determinism;
 
 const DETERMINISM_TOKENS: [(&str, &str); 5] = [
@@ -68,6 +100,14 @@ const DETERMINISM_TOKENS: [(&str, &str); 5] = [
     ("thread_rng", "OS-seeded randomness; use a seeded matraptor_sparse::rng::ChaCha8Rng"),
 ];
 
+fn determinism_why(token: &str) -> &'static str {
+    DETERMINISM_TOKENS
+        .iter()
+        .find(|(t, _)| *t == token)
+        .map(|(_, why)| *why)
+        .unwrap_or("non-deterministic construct")
+}
+
 impl Rule for Determinism {
     fn name(&self) -> &'static str {
         "determinism"
@@ -76,34 +116,34 @@ impl Rule for Determinism {
         "simulator-state crates (core, sim, mem, service) must not use \
          HashMap/HashSet, wall-clock time, or OS-seeded randomness"
     }
-    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+    fn check(&self, a: &Analysis) -> Vec<Violation> {
         let mut out = Vec::new();
-        for file in sim_state_sources(ws) {
-            for (idx, line) in file.lines.iter().enumerate() {
-                if line.is_test {
+        for fm in sim_state_models(a) {
+            let toks = &fm.tokens;
+            for (i, t) in toks.iter().enumerate() {
+                if t.kind != TokKind::Ident || a.is_test_line(&fm.rel, t.line) {
                     continue;
                 }
-                for (token, why) in DETERMINISM_TOKENS {
-                    if contains_token(&line.code, token) {
-                        out.push(Violation {
-                            rule: "determinism",
-                            file: file.rel.clone(),
-                            line: idx + 1,
-                            message: format!("`{token}` in simulator state: {why}"),
-                        });
+                let token = match t.text.as_str() {
+                    "HashMap" | "HashSet" | "SystemTime" | "thread_rng" => t.text.as_str(),
+                    "Instant"
+                        if toks.get(i + 1).is_some_and(|p| p.is_punct("::"))
+                            && toks.get(i + 2).is_some_and(|n| n.is_ident("now")) =>
+                    {
+                        "Instant::now"
                     }
-                }
+                    _ => continue,
+                };
+                out.push(Violation {
+                    rule: "determinism",
+                    file: fm.rel.clone(),
+                    line: t.line,
+                    message: format!("`{token}` in simulator state: {}", determinism_why(token)),
+                });
             }
         }
         out
     }
-}
-
-fn sim_state_sources(ws: &Workspace) -> impl Iterator<Item = &SourceFile> {
-    ws.sources.iter().filter(|f| {
-        f.crate_name.as_deref().is_some_and(|c| SIM_STATE_CRATES.contains(&c))
-            && f.rel.contains("/src/")
-    })
 }
 
 // ---------------------------------------------------------------------------
@@ -111,16 +151,15 @@ fn sim_state_sources(ws: &Workspace) -> impl Iterator<Item = &SourceFile> {
 // ---------------------------------------------------------------------------
 
 /// Forbids `unwrap()`, `expect(...)`, and `panic!` in non-test code of the
-/// hot paths: all of `core` and `mem`, plus the `sparse` SpGEMM kernels and
-/// the C²SR converter.
+/// hot paths: all of `core`, `mem`, and `service`, plus the `sparse` SpGEMM
+/// kernels and the C²SR converter. Token-stream based: `panic!` inside a
+/// string literal or doc comment does not count.
 pub struct PanicSafety;
 
-const PANIC_TOKENS: [&str; 3] = [".unwrap()", ".expect(", "panic!"];
-
-fn panic_safety_applies(file: &SourceFile) -> bool {
-    match file.crate_name.as_deref() {
-        Some("core") | Some("mem") | Some("service") => file.rel.contains("/src/"),
-        Some("sparse") => file.rel.contains("/src/spgemm/") || file.rel.ends_with("/src/c2sr.rs"),
+fn panic_safety_applies(crate_name: Option<&str>, rel: &str) -> bool {
+    match crate_name {
+        Some("core") | Some("mem") | Some("service") => rel.contains("/src/"),
+        Some("sparse") => rel.contains("/src/spgemm/") || rel.ends_with("/src/c2sr.rs"),
         _ => false,
     }
 }
@@ -133,26 +172,43 @@ impl Rule for PanicSafety {
         "core, mem, service, and the sparse SpGEMM/C2SR hot paths must propagate \
          errors instead of calling unwrap/expect/panic! outside test code"
     }
-    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+    fn check(&self, a: &Analysis) -> Vec<Violation> {
         let mut out = Vec::new();
-        for file in ws.sources.iter().filter(|f| panic_safety_applies(f)) {
-            for (idx, line) in file.lines.iter().enumerate() {
-                if line.is_test {
+        for fm in
+            a.model.files.iter().filter(|f| panic_safety_applies(f.crate_name.as_deref(), &f.rel))
+        {
+            let toks = &fm.tokens;
+            for (i, t) in toks.iter().enumerate() {
+                if t.kind != TokKind::Ident || a.is_test_line(&fm.rel, t.line) {
                     continue;
                 }
-                for token in PANIC_TOKENS {
-                    if contains_token(&line.code, token) {
-                        out.push(Violation {
-                            rule: "panic-safety",
-                            file: file.rel.clone(),
-                            line: idx + 1,
-                            message: format!(
-                                "`{token}` in non-test hot-path code; return a Result \
-                                 (or justify with a conformance:allow comment)"
-                            ),
-                        });
-                    }
-                }
+                let token = if t.is_ident("unwrap")
+                    && i >= 1
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|p| p.is_punct("("))
+                    && toks.get(i + 2).is_some_and(|p| p.is_punct(")"))
+                {
+                    ".unwrap()"
+                } else if t.is_ident("expect")
+                    && i >= 1
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|p| p.is_punct("("))
+                {
+                    ".expect("
+                } else if t.is_ident("panic") && toks.get(i + 1).is_some_and(|p| p.is_punct("!")) {
+                    "panic!"
+                } else {
+                    continue;
+                };
+                out.push(Violation {
+                    rule: "panic-safety",
+                    file: fm.rel.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{token}` in non-test hot-path code; return a Result \
+                         (or justify with a conformance:allow comment)"
+                    ),
+                });
             }
         }
         out
@@ -166,10 +222,12 @@ impl Rule for PanicSafety {
 /// The allowed `[dependencies]` edges between workspace crates, by short
 /// name. Dev-dependencies are exempt (tests may reach down the stack).
 /// Direction: sparse → sim → mem → core → {service, baselines, energy} →
-/// bench.
+/// bench. `conformance` sits outside the simulator DAG but borrows the
+/// shared FNV-1a hash from `sim`.
 fn allowed_deps(short: &str) -> Option<&'static [&'static str]> {
     match short {
-        "sparse" | "sim" | "energy" | "conformance" => Some(&[]),
+        "sparse" | "sim" | "energy" => Some(&[]),
+        "conformance" => Some(&["sim"]),
         "mem" => Some(&["sim"]),
         "core" => Some(&["sparse", "sim", "mem"]),
         "service" => Some(&["sparse", "sim", "mem", "core"]),
@@ -190,12 +248,12 @@ impl Rule for Layering {
         "crate dependencies must follow sparse -> sim -> mem -> core -> \
          {service, baselines, energy} -> bench; no back-edges"
     }
-    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+    fn check(&self, a: &Analysis) -> Vec<Violation> {
         let mut out = Vec::new();
-        for m in &ws.manifests {
+        for m in &a.ws.manifests {
             out.extend(check_manifest_edges(m));
         }
-        for f in &ws.sources {
+        for f in &a.ws.sources {
             out.extend(check_source_edges(f));
         }
         out
@@ -292,11 +350,11 @@ impl Rule for DocDrift {
         "every fig*/table*/ablation*/trace* binary in crates/bench/src/bin/ must \
          have a matching entry in EXPERIMENTS.md"
     }
-    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+    fn check(&self, a: &Analysis) -> Vec<Violation> {
         let experiments =
-            std::fs::read_to_string(ws.root.join("EXPERIMENTS.md")).unwrap_or_default();
+            std::fs::read_to_string(a.ws.root.join("EXPERIMENTS.md")).unwrap_or_default();
         let mut out = Vec::new();
-        for f in &ws.sources {
+        for f in &a.ws.sources {
             let Some(stem) =
                 f.rel.strip_prefix("crates/bench/src/bin/").and_then(|n| n.strip_suffix(".rs"))
             else {

@@ -347,7 +347,7 @@ fn count_hashes(chars: &[char], mut i: usize) -> usize {
     n
 }
 
-fn is_char_literal(chars: &[char], i: usize) -> bool {
+pub(crate) fn is_char_literal(chars: &[char], i: usize) -> bool {
     // 'x' or '\n' is a char literal; 'a in `&'a str` is a lifetime.
     match chars.get(i + 1) {
         Some('\\') => true,

@@ -105,6 +105,83 @@ fn doc_drift_rule_fires_and_suppresses() {
 }
 
 #[test]
+fn checkpoint_coverage_rule_fires_and_suppresses() {
+    let report = fixture("checkpoint_coverage");
+    assert_eq!(
+        report.violations.len(),
+        2,
+        "expected the plain_struct! gap and the snapshot/restore gap:\n{}",
+        report.human()
+    );
+    // `GadgetState.drained` is declared but absent from the plain_struct!
+    // invocation that serializes the type.
+    let macro_gap = &report.violations[0];
+    assert_eq!(macro_gap.rule, "checkpoint-coverage");
+    assert_eq!(macro_gap.file, "crates/core/src/lib.rs");
+    assert_eq!(macro_gap.line, 10);
+    assert!(macro_gap.message.contains("`drained`"));
+    assert!(macro_gap.message.contains("plain_struct!"));
+    // `Gadget.drained` is mentioned by neither `snapshot` nor `restore`.
+    let walk_gap = &report.violations[1];
+    assert_eq!(walk_gap.line, 19);
+    assert!(walk_gap.message.contains("missing from the checkpoint walk (snapshot, restore)"));
+    // `Gadget.capacity` is transient and carries an allow comment.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn attribution_totality_rule_fires_and_suppresses() {
+    let report = fixture("attribution");
+    assert_eq!(report.violations.len(), 1, "{}", report.human());
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "attribution-totality");
+    assert_eq!(v.file, "crates/core/src/lib.rs");
+    assert_eq!(v.line, 18);
+    assert!(v.message.contains("`Stage::tick`"));
+    assert!(v.message.contains("does not charge immediately before returning"));
+    // `Helper::tick` defers charging by design and carries an allow comment.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn cast_safety_rule_fires_and_suppresses() {
+    let report = fixture("cast_safety");
+    assert_eq!(report.violations.len(), 2, "{}", report.human());
+    let compound = &report.violations[0];
+    assert_eq!(compound.rule, "cast-safety");
+    assert_eq!(compound.line, 10);
+    assert!(compound.message.contains("unchecked `+=` on counter-like `stall_cycles`"));
+    let cast = &report.violations[1];
+    assert_eq!(cast.line, 14);
+    assert!(cast.message.contains("narrowing cast `stall_cycles as u32`"));
+    // The bounded `bytes_hint as u16` carries an allow comment.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn tokens_inside_strings_and_doc_comments_do_not_fire() {
+    // Regression for the substring-era false positives: `HashMap`,
+    // `.unwrap()`, `Instant::now()` etc. appear only in prose (string
+    // literals, doc comments, line comments) and must report nothing —
+    // with no allow comments needed.
+    let report = fixture("lexer_prose");
+    assert!(report.is_clean(), "prose tokens misread as code:\n{}", report.human());
+    assert_eq!(report.suppressed, 0);
+}
+
+#[test]
+fn violations_sort_stably_by_file_line_rule() {
+    for name in ["checkpoint_coverage", "cast_safety", "layering"] {
+        let report = fixture(name);
+        let keys: Vec<_> =
+            report.violations.iter().map(|v| (v.file.clone(), v.line, v.rule)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "unsorted report for fixture `{name}`");
+    }
+}
+
+#[test]
 fn json_report_round_trips_rule_names() {
     let json = fixture("determinism").json();
     assert!(json.contains("\"rule\": \"determinism\""));

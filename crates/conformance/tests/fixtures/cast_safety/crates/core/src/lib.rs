@@ -1,0 +1,21 @@
+//! Synthetic crate exercising the cast/arithmetic-safety lint. Never compiled.
+
+pub struct Meter {
+    stall_cycles: u64,
+    bytes_hint: u64,
+}
+
+impl Meter {
+    pub fn observe(&mut self) {
+        self.stall_cycles += 1;
+    }
+
+    pub fn stalled_lo(&self) -> u32 {
+        self.stall_cycles as u32
+    }
+
+    pub fn hint(&self) -> u16 {
+        // conformance:allow(cast-safety): hint is clamped to the 16-bit wire format upstream
+        self.bytes_hint as u16
+    }
+}

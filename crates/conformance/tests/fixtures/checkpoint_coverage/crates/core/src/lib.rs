@@ -1,0 +1,34 @@
+//! Synthetic crate exercising the checkpoint-coverage auditor. Never compiled.
+
+macro_rules! plain_struct {
+    ($($t:tt)*) => {};
+}
+
+/// Serialized state for [`Gadget`]: the macro walk omits `drained`.
+pub struct GadgetState {
+    pub fill: u64,
+    pub drained: u64,
+}
+
+plain_struct!(GadgetState { fill });
+
+/// The live unit: `drained` is missing from snapshot and restore, while
+/// `capacity` is intentionally transient (rebuilt at construction).
+pub struct Gadget {
+    fill: u64,
+    drained: u64,
+    // conformance:allow(checkpoint-coverage): fixed capacity, rebuilt from config on restore
+    capacity: usize,
+}
+
+impl Gadget {
+    /// Captures the mutable state — but forgets `drained`.
+    pub fn snapshot(&self) -> u64 {
+        self.fill
+    }
+
+    /// Restores a snapshot — also forgets `drained`.
+    pub fn restore(&mut self, fill: u64) {
+        self.fill = fill;
+    }
+}

@@ -1,0 +1,15 @@
+//! Synthetic crate proving the lexer kills prose false positives: every
+//! forbidden token below lives in a string literal or a comment, so the
+//! determinism and panic-safety rules must report nothing. Never compiled.
+
+/// Explains why `HashMap` iteration order and `.unwrap()` are banned in
+/// hot-path code — a doc comment may name them freely, as may mentions of
+/// Instant::now(), SystemTime, thread_rng, or panic!(...).
+pub fn guidance() -> &'static str {
+    "replace HashMap with BTreeMap, .unwrap() with ?, Instant::now() with \
+     the simulated Cycle clock, and thread_rng with a seeded generator; \
+     never panic!(...) in the hot path"
+}
+
+// A line comment with .expect("msg") and HashSet must stay silent too.
+pub const NOTE: &str = "SystemTime and .expect(\"msg\") only appear in prose";

@@ -1,0 +1,100 @@
+//! Workspace-walker tests: deterministic file ordering, `target/` /
+//! hidden-dir / `tests/fixtures/` exclusion, exercised against a synthetic
+//! tree built in a std temp directory.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use matraptor_conformance::workspace::Workspace;
+
+/// A unique scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir()
+            .join(format!("matraptor-conformance-walker-{tag}-{}", std::process::id()));
+        // A stale tree from a crashed prior run would pollute the walk.
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.0.join(rel);
+        fs::create_dir_all(path.parent().expect("scratch paths have parents"))
+            .expect("create parent dirs");
+        fs::write(path, contents).expect("write scratch file");
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn rels(ws: &Workspace) -> Vec<&str> {
+    ws.sources.iter().map(|s| s.rel.as_str()).collect()
+}
+
+#[test]
+fn files_come_back_in_sorted_order() {
+    let s = Scratch::new("order");
+    // Created deliberately out of lexicographic order.
+    s.write("crates/zeta/src/lib.rs", "pub fn z() {}\n");
+    s.write("crates/alpha/src/lib.rs", "pub fn a() {}\n");
+    s.write("crates/alpha/src/extra.rs", "pub fn e() {}\n");
+    s.write("Cargo.toml", "[workspace]\nmembers = []\n");
+    let ws = Workspace::load(&s.0).expect("walk scratch tree");
+    assert_eq!(
+        rels(&ws),
+        ["crates/alpha/src/extra.rs", "crates/alpha/src/lib.rs", "crates/zeta/src/lib.rs"]
+    );
+    assert_eq!(ws.manifests.len(), 1);
+}
+
+#[test]
+fn walk_is_deterministic_across_runs() {
+    let s = Scratch::new("determinism");
+    for name in ["m", "b", "x", "a"] {
+        s.write(&format!("crates/{name}/src/lib.rs"), "pub fn f() {}\n");
+        s.write(&format!("crates/{name}/Cargo.toml"), "[package]\nname = \"x\"\n");
+    }
+    let first = Workspace::load(&s.0).expect("first walk");
+    let second = Workspace::load(&s.0).expect("second walk");
+    assert_eq!(rels(&first), rels(&second));
+    let manifest_rels: Vec<_> = first.manifests.iter().map(|m| m.rel.as_str()).collect();
+    let mut sorted = manifest_rels.clone();
+    sorted.sort();
+    assert_eq!(manifest_rels, sorted);
+}
+
+#[test]
+fn target_hidden_and_fixture_trees_are_excluded() {
+    let s = Scratch::new("exclusion");
+    s.write("crates/core/src/lib.rs", "pub fn keep() {}\n");
+    // All four of these hold .rs files the walker must never read: build
+    // output, hidden state, and synthetic violation trees.
+    s.write("target/debug/build/generated.rs", "use std::collections::HashMap;\n");
+    s.write("crates/core/target/debug/also_generated.rs", "panic!();\n");
+    s.write(".git-like/hook.rs", "panic!();\n");
+    s.write("crates/core/tests/fixtures/bad/src/lib.rs", "use std::collections::HashMap;\n");
+    // Ordinary integration tests ARE walked (rules exempt them per-line).
+    s.write("crates/core/tests/smoke.rs", "#[test]\nfn t() {}\n");
+    let ws = Workspace::load(&s.0).expect("walk scratch tree");
+    assert_eq!(rels(&ws), ["crates/core/src/lib.rs", "crates/core/tests/smoke.rs"]);
+}
+
+#[test]
+fn real_fixture_trees_are_invisible_to_the_real_scan() {
+    // The deliberately-violating fixtures under this crate's tests/fixtures
+    // must not leak into the workspace gate's scan.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root).expect("scan real workspace");
+    assert!(
+        ws.sources.iter().all(|f| !f.rel.contains("tests/fixtures/")),
+        "fixture tree leaked into the real scan"
+    );
+    assert!(ws.sources.iter().all(|f| !f.rel.starts_with("target/")));
+}

@@ -17,7 +17,18 @@ fn workspace_has_zero_violations() {
 }
 
 #[test]
-fn all_four_rules_are_registered() {
+fn all_seven_rules_are_registered() {
     let names: Vec<_> = matraptor_conformance::registry().iter().map(|r| r.name()).collect();
-    assert_eq!(names, ["determinism", "panic-safety", "layering", "doc-drift"]);
+    assert_eq!(
+        names,
+        [
+            "determinism",
+            "panic-safety",
+            "layering",
+            "doc-drift",
+            "checkpoint-coverage",
+            "attribution-totality",
+            "cast-safety"
+        ]
+    );
 }

@@ -32,6 +32,7 @@ use matraptor_mem::snapshot::{
     ResponseState,
 };
 use matraptor_mem::MemKind;
+use matraptor_sim::trace::fnv1a64;
 use matraptor_sim::watchdog::mix_signature;
 use matraptor_sparse::Csr;
 
@@ -172,16 +173,6 @@ impl Checkpoint {
         }
         Ok(Checkpoint { state })
     }
-}
-
-/// FNV-1a 64-bit over a byte slice — the payload integrity checksum.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
 }
 
 /// Fingerprint of a configuration: every field that affects the machine's
@@ -864,6 +855,17 @@ mod tests {
         let back = Checkpoint::from_bytes(&bytes).expect("round trip");
         assert_eq!(back.state, ck.state);
         assert_eq!(back.cycle(), 42);
+    }
+
+    #[test]
+    fn checksum_is_the_shared_workspace_fnv1a64() {
+        // The checkpoint checksum and the trace/report fingerprints must be
+        // the same hash: the header's u64 at bytes [8..16] is exactly
+        // `matraptor_sim::trace::fnv1a64` over the payload.
+        let bytes = Checkpoint { state: tiny_state() }.to_bytes();
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(&bytes[8..16]);
+        assert_eq!(u64::from_le_bytes(sum), matraptor_sim::trace::fnv1a64(&bytes[16..]));
     }
 
     #[test]

@@ -76,10 +76,11 @@ pub fn conversion_cycles_directed(
 
     let chunk = cfg.read_request_bytes as u64;
     // Read plan: row pointers then data, flat sequential.
+    let read_total = ptr_bytes.saturating_add(data_bytes);
     let mut reads: Vec<(u64, u32)> = Vec::new();
     let mut pos = 0u64;
-    while pos < ptr_bytes + data_bytes {
-        let len = chunk.min(ptr_bytes + data_bytes - pos);
+    while pos < read_total {
+        let len = chunk.min(read_total - pos);
         reads.push((pos, len as u32));
         pos += len;
     }
@@ -101,7 +102,7 @@ pub fn conversion_cycles_directed(
     }
     let mut ipos = 0u64;
     while ipos < info_bytes {
-        let len = chunk.min(info_bytes - ipos);
+        let len = chunk.min(info_bytes.saturating_sub(ipos));
         writes.push((2 * wbase + ipos, len as u32));
         ipos += len;
     }
@@ -130,7 +131,11 @@ pub fn conversion_cycles_directed(
     let mut in_flight = 0usize;
     let max_outstanding = cfg.outstanding_requests;
     let mut id = 0u64;
-    let budget = (data_bytes + ptr_bytes + info_bytes) * 64 + 100_000;
+    let budget = data_bytes
+        .saturating_add(ptr_bytes)
+        .saturating_add(info_bytes)
+        .saturating_mul(64)
+        .saturating_add(100_000);
     let mut t = 0u64;
     while reads_done < reads.len() || writes_done < writes.len() {
         assert!(t < budget, "format conversion did not drain");
@@ -172,9 +177,10 @@ pub fn conversion_cycles_directed(
         t += 1;
     }
 
+    let write_total = data_bytes.saturating_add(info_bytes);
     let (bytes_read, bytes_written) = match direction {
-        ConversionDirection::CsrToC2sr => (ptr_bytes + data_bytes, data_bytes + info_bytes),
-        ConversionDirection::C2srToCsr => (data_bytes + info_bytes, ptr_bytes + data_bytes),
+        ConversionDirection::CsrToC2sr => (read_total, write_total),
+        ConversionDirection::C2srToCsr => (write_total, read_total),
     };
     ConversionReport { mem_cycles: t, bytes_read, bytes_written, clock_ghz: cfg.mem.clock_ghz }
 }

@@ -444,7 +444,7 @@ impl<'a> Driver<'a> {
             }
             report.attempts += 1;
             let backoff = policy.backoff_base_cycles << (report.attempts - 2).min(16);
-            report.backoff_cycles += backoff;
+            report.backoff_cycles = report.backoff_cycles.saturating_add(backoff);
             let (action, result) = match rung {
                 Rung::Resume(ck) => {
                     (RecoveryAction::ResumeCheckpoint, self.accel.try_run_from(a, b, &ck))
@@ -461,7 +461,7 @@ impl<'a> Driver<'a> {
                             // The reduced shape is invalid for this
                             // config family; skip the rung entirely.
                             report.attempts -= 1;
-                            report.backoff_cycles -= backoff;
+                            report.backoff_cycles = report.backoff_cycles.saturating_sub(backoff);
                             continue;
                         }
                     }

@@ -35,6 +35,7 @@ enum CycleClass {
 #[derive(Debug)]
 pub struct Pe {
     sets: [QueueSet; 2],
+    // conformance:allow(checkpoint-coverage): fixed hardware configuration, never mutated after construction
     double_buffering: bool,
     fill: usize,
     vec_mode: Option<VectorMode>,
@@ -109,17 +110,22 @@ impl Pe {
     ) {
         self.tick_phase2(writer, cfg, layout);
         let class = self.tick_phase1(input, writer, fallback, upstream_done);
-        match class {
-            CycleClass::Busy => self.breakdown.busy.incr(),
-            CycleClass::MergeStall => self.breakdown.merge_stall.incr(),
-            CycleClass::MemoryStall => self.breakdown.memory_stall.incr(),
-            CycleClass::Idle => self.breakdown.idle.incr(),
-        }
         if !matches!(class, CycleClass::Idle) {
             self.phase1_cycles.incr();
         }
         if self.phase2.is_some() {
             self.phase2_cycles.incr();
+        }
+        self.charge(class);
+    }
+
+    /// Charges exactly one attribution bucket for the cycle just ticked.
+    fn charge(&mut self, class: CycleClass) {
+        match class {
+            CycleClass::Busy => self.breakdown.busy.incr(),
+            CycleClass::MergeStall => self.breakdown.merge_stall.incr(),
+            CycleClass::MemoryStall => self.breakdown.memory_stall.incr(),
+            CycleClass::Idle => self.breakdown.idle.incr(),
         }
     }
 

@@ -22,7 +22,9 @@ use crate::tokens::ATok;
 /// let it pipeline fetches instead of stalling on each response.
 #[derive(Debug)]
 pub struct SpAl {
+    // conformance:allow(checkpoint-coverage): lane identity is structural; restore rebuilds the loader in place for the same lane
     lane: usize,
+    // conformance:allow(checkpoint-coverage): row assignment is derived from (lane, layout) at construction, identical across a restore of the same job
     rows: Vec<u32>,
     /// Next row whose info fetch may be issued.
     info_cursor: usize,
@@ -40,8 +42,10 @@ pub struct SpAl {
     staging: VecDeque<ATok>,
     /// In-flight request budget.
     in_flight: usize,
+    // conformance:allow(checkpoint-coverage): fixed hardware constant from config, never mutated after construction
     max_outstanding: usize,
     /// Cap on decoded-but-unforwarded tokens, bounding lookahead.
+    // conformance:allow(checkpoint-coverage): fixed hardware constant from config, never mutated after construction
     staging_cap: usize,
     /// Per-cycle attribution: exactly one bucket is charged per tick, so
     /// the buckets sum to the cycles this unit was ticked.

@@ -31,8 +31,11 @@ pub struct SpBl {
     pending_data: BTreeMap<u64, DataSpan>,
     staging: VecDeque<PeTok>,
     in_flight: usize,
+    // conformance:allow(checkpoint-coverage): fixed hardware constant from config, never mutated after construction
     max_outstanding: usize,
+    // conformance:allow(checkpoint-coverage): fixed hardware constant from config, never mutated after construction
     staging_cap: usize,
+    // conformance:allow(checkpoint-coverage): fixed hardware constant from config, never mutated after construction
     job_window: usize,
     /// Diagnostic counters: (blocked-on-data, blocked-on-info, staging-full, no-jobs) cycles.
     pub(crate) blocked: [u64; 4],

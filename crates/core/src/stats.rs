@@ -112,7 +112,7 @@ impl MatRaptorStats {
         if self.total_cycles == 0 {
             return 0.0;
         }
-        (self.bytes_read + self.bytes_written) as f64 / self.elapsed_seconds() / 1e9
+        self.bytes_read.saturating_add(self.bytes_written) as f64 / self.elapsed_seconds() / 1e9
     }
 
     /// Load imbalance as the paper defines it for Fig. 11: max/min of the

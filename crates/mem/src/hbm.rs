@@ -52,7 +52,8 @@ impl HbmStats {
         if elapsed_cycles == 0 {
             return 0.0;
         }
-        (self.bytes_read + self.bytes_written) as f64 / elapsed_cycles as f64 * clock_ghz
+        self.bytes_read.saturating_add(self.bytes_written) as f64 / elapsed_cycles as f64
+            * clock_ghz
     }
 }
 
@@ -89,6 +90,7 @@ impl HbmStats {
 /// ```
 #[derive(Debug)]
 pub struct Hbm {
+    // conformance:allow(checkpoint-coverage): configuration is fingerprint-checked separately; restore takes it as a constructor argument
     cfg: HbmConfig,
     channels: Vec<Channel>,
     /// In-flight request bookkeeping: fragments remaining + original size.
@@ -219,7 +221,8 @@ impl Hbm {
     pub fn tick(&mut self, now: Cycle) {
         for (ch_idx, ch) in self.channels.iter_mut().enumerate() {
             if !self.faults.is_empty() && self.faults.stalled(ch_idx, now.as_u64()) {
-                self.fault_counters.stalled_cycles += 1;
+                self.fault_counters.stalled_cycles =
+                    self.fault_counters.stalled_cycles.saturating_add(1);
                 continue;
             }
             if let Some(frag) = ch.tick(now, &self.cfg) {
@@ -236,7 +239,9 @@ impl Hbm {
                     // conformance:allow(panic-safety): invariant: presence checked two lines above
                     let p = self.pending.remove(&frag.req_id).expect("just seen");
                     self.completed_requests += 1;
-                    self.latency_sum += (now - p.submitted) + self.cfg.access_latency;
+                    self.latency_sum = self
+                        .latency_sum
+                        .saturating_add((now - p.submitted) + self.cfg.access_latency);
                     self.response_pipe
                         .push(now, MemResponse { id: frag.req_id, kind: p.kind, bytes: p.bytes });
                 }
@@ -359,7 +364,7 @@ impl Hbm {
             let c = ch.stats();
             s.bursts += c.bursts.get();
             s.row_misses += c.row_misses.get();
-            s.busy_cycles += c.busy_cycles.get();
+            s.busy_cycles = s.busy_cycles.saturating_add(c.busy_cycles.get());
         }
         s.bytes_read = self.channels.iter().map(|c| c.stats().read_bytes.get()).sum();
         s.bytes_written = self.channels.iter().map(|c| c.stats().write_bytes.get()).sum();

@@ -143,7 +143,7 @@ pub fn measure_bandwidth(
 
     let stats = hbm.stats();
     Ok(BandwidthReport {
-        useful_bytes: stats.bytes_read + stats.bytes_written,
+        useful_bytes: stats.bytes_read.saturating_add(stats.bytes_written),
         elapsed_cycles: t,
         achieved_gbs: stats.achieved_bandwidth_gbs(t, cfg.clock_ghz),
         peak_gbs: cfg.peak_bandwidth_gbs(),

@@ -383,7 +383,8 @@ impl Service {
                     // The machine genuinely ran to the deadline before the
                     // cancel: charge exactly that.
                     self.clock.advance(deadline_cycles.max(1));
-                    self.counters.deadline_exceeded += 1;
+                    self.counters.deadline_exceeded =
+                        self.counters.deadline_exceeded.saturating_add(1);
                     // No quarantine strike: a deadline kill reflects the
                     // tenant's budget, not input health. No retry either —
                     // the same run would be cancelled again.

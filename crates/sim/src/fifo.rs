@@ -24,6 +24,7 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct Fifo<T> {
     items: VecDeque<T>,
+    // conformance:allow(checkpoint-coverage): fixed hardware constant; from_snapshot takes it as a constructor argument
     capacity: usize,
     /// Lifetime count of accepted pushes, for occupancy statistics.
     total_pushed: u64,
