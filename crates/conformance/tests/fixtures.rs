@@ -109,8 +109,9 @@ fn checkpoint_coverage_rule_fires_and_suppresses() {
     let report = fixture("checkpoint_coverage");
     assert_eq!(
         report.violations.len(),
-        2,
-        "expected the plain_struct! gap and the snapshot/restore gap:\n{}",
+        3,
+        "expected the plain_struct! gap, the snapshot/restore gap, and the \
+         fleet-worker heartbeat gap:\n{}",
         report.human()
     );
     // `GadgetState.drained` is declared but absent from the plain_struct!
@@ -125,8 +126,16 @@ fn checkpoint_coverage_rule_fires_and_suppresses() {
     let walk_gap = &report.violations[1];
     assert_eq!(walk_gap.line, 19);
     assert!(walk_gap.message.contains("missing from the checkpoint walk (snapshot, restore)"));
-    // `Gadget.capacity` is transient and carries an allow comment.
-    assert_eq!(report.suppressed, 1);
+    // The fleet-worker shaped fixture: `FleetWorker.beats` (the heartbeat
+    // counter the real service::Worker carries across restarts) is
+    // mentioned by neither `snapshot` nor `restore`.
+    let beat_gap = &report.violations[2];
+    assert_eq!(beat_gap.file, "crates/service/src/lib.rs");
+    assert!(beat_gap.message.contains("`beats`"));
+    assert!(beat_gap.message.contains("missing from the checkpoint walk"));
+    // `Gadget.capacity` and `FleetWorker.watchdog` are transient and
+    // carry allow comments.
+    assert_eq!(report.suppressed, 2);
 }
 
 #[test]

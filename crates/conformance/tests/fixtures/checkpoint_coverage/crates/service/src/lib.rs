@@ -1,0 +1,32 @@
+//! Synthetic service crate: fleet-worker shaped state for the
+//! checkpoint-coverage auditor. Never compiled.
+//!
+//! Mirrors the real `Worker` snapshot discipline: a worker that forgets
+//! to carry its heartbeat counter (`beats`) across snapshot/restore would
+//! replay a *different* liveness future after restart — exactly the bug
+//! class the auditor exists to catch.
+
+/// The live fleet worker: `beats` rides the checkpoint in the real crate;
+/// here it is deliberately dropped from both halves of the walk. The
+/// watchdog itself is transient — rebuilt from config and re-observed
+/// from the restored beat counter.
+pub struct FleetWorker {
+    slices: u64,
+    beats: u64,
+    // conformance:allow(checkpoint-coverage): watchdog is rebuilt from config and re-observed on restore
+    watchdog: u64,
+}
+
+impl FleetWorker {
+    /// Captures mutable worker state — but forgets `beats`.
+    pub fn snapshot(&self) -> u64 {
+        self.slices
+    }
+
+    /// Restores a snapshot — also forgets `beats`, so the heartbeat
+    /// signature forks from the pre-snapshot run.
+    pub fn restore(&mut self, slices: u64) {
+        self.slices = slices;
+        self.watchdog = 0;
+    }
+}

@@ -73,6 +73,21 @@ pub enum DeadlineRun {
     Cancelled(Box<Checkpoint>),
 }
 
+/// Outcome of one bounded execution slice ([`Accelerator::try_run_slice`]):
+/// the job either drained inside the slice or was paused at the slice
+/// boundary with a resumable [`Checkpoint`] to hand to the next slice —
+/// possibly on a *different* worker holding an identically-configured
+/// accelerator, which is exactly the fleet re-dispatch path.
+#[derive(Debug)]
+pub enum SliceRun {
+    /// The run drained at or before the slice boundary. Boxed to keep the
+    /// enum near pointer size next to the slim `Paused` payload.
+    Completed(Box<RunOutcome>),
+    /// The run paused at the slice boundary; the payload resumes it via
+    /// another `try_run_slice` call (or [`Accelerator::try_run_from`]).
+    Paused(Box<Checkpoint>),
+}
+
 /// A failed checkpointing run: the error plus the last checkpoint taken
 /// before the failure, if any — the input to the recovery ladder's
 /// resume-from-checkpoint rung.
@@ -363,6 +378,45 @@ impl Accelerator {
             self.finalize(&ctx, &state).map(|outcome| DeadlineRun::Completed(Box::new(outcome)))
         } else {
             Ok(DeadlineRun::Cancelled(Box::new(self.snapshot_run(&ctx, &state))))
+        }
+    }
+
+    /// Executes one bounded *slice* of a run: starts fresh (arming `plan`)
+    /// when `from` is `None`, otherwise resumes the given checkpoint, and
+    /// drives until the machine drains or accelerator cycle `until_cycle`
+    /// is reached — whichever comes first.
+    ///
+    /// This is the checkpoint-handoff primitive of the worker fleet: a
+    /// worker runs a job slice-by-slice, heartbeating between slices, and
+    /// on a crash the last `Paused` checkpoint re-dispatches the job to
+    /// any identically-configured worker with bit-identical results
+    /// (DESIGN.md §9 replay invariant — the checkpoint's config and input
+    /// fingerprints enforce the "identically configured" part).
+    ///
+    /// When resuming, `plan` is ignored: armed fault state rides the
+    /// checkpoint, exactly as in [`Accelerator::try_run_from`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CheckpointMismatch`] for foreign checkpoints; otherwise
+    /// as [`Accelerator::try_run`], for failures inside the slice.
+    pub fn try_run_slice(
+        &self,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        plan: Option<&FaultPlan>,
+        from: Option<&Checkpoint>,
+        until_cycle: u64,
+    ) -> Result<SliceRun, SimError> {
+        let ctx = self.prepare_context(a, b)?;
+        let mut state = match from {
+            Some(checkpoint) => self.restore_run(&ctx, checkpoint)?,
+            None => self.fresh_state(&ctx, plan),
+        };
+        if self.drive(&ctx, &mut state, Some(until_cycle))? {
+            self.finalize(&ctx, &state).map(|outcome| SliceRun::Completed(Box::new(outcome)))
+        } else {
+            Ok(SliceRun::Paused(Box::new(self.snapshot_run(&ctx, &state))))
         }
     }
 

@@ -12,7 +12,7 @@ use matraptor_mem::HbmConfig;
 use matraptor_sim::stats::CycleBreakdown;
 use matraptor_sparse::{spgemm, C2sr, Csr, SparseError};
 
-use crate::accel::{Accelerator, DeadlineRun, FailedRun, RunOutcome};
+use crate::accel::{Accelerator, DeadlineRun, FailedRun, RunOutcome, SliceRun};
 use crate::checkpoint::Checkpoint;
 use crate::error::SimError;
 use crate::fault::FaultPlan;
@@ -330,6 +330,44 @@ impl<'a> Driver<'a> {
             // contract is cancel-and-report. Callers that want to resume
             // cancelled work use `Accelerator::try_run_deadline` directly.
             Ok(DeadlineRun::Cancelled(_)) => Err(DriverError::DeadlineExceeded { deadline_cycles }),
+            Err(e) => Err(DriverError::AcceleratorFault(e)),
+        }
+    }
+
+    /// Slice-wise driver re-entry ([`Accelerator::try_run_slice`]): runs
+    /// one bounded slice of the configured job, starting fresh when `from`
+    /// is `None` and resuming the handed-over checkpoint otherwise. The
+    /// start bit stays set across paused slices — the job is still in
+    /// flight from the host's point of view — and is cleared only when a
+    /// slice completes the run, mirroring [`Driver::launch`].
+    ///
+    /// Each re-entry repeats the full preflight (start bit, dimension
+    /// registers, input structure): a fleet re-dispatching a checkpoint to
+    /// a different worker re-programs that worker's registers, and this is
+    /// where a mis-programmed hand-off is caught.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Driver::launch`] reports; a foreign or incompatible
+    /// checkpoint surfaces as [`DriverError::AcceleratorFault`] carrying
+    /// [`SimError::CheckpointMismatch`].
+    ///
+    /// [`SimError::CheckpointMismatch`]: crate::SimError::CheckpointMismatch
+    pub fn launch_slice(
+        &mut self,
+        a: &Csr<f64>,
+        b: &Csr<f64>,
+        plan: Option<&FaultPlan>,
+        from: Option<&Checkpoint>,
+        until_cycle: u64,
+    ) -> Result<SliceRun, DriverError> {
+        self.preflight(a, b)?;
+        match self.accel.try_run_slice(a, b, plan, from, until_cycle) {
+            Ok(SliceRun::Completed(outcome)) => {
+                self.regs.x0 = 0;
+                Ok(SliceRun::Completed(outcome))
+            }
+            Ok(paused @ SliceRun::Paused(_)) => Ok(paused),
             Err(e) => Err(DriverError::AcceleratorFault(e)),
         }
     }

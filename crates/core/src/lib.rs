@@ -76,7 +76,7 @@ mod tokens;
 mod trace;
 mod writer;
 
-pub use accel::{Accelerator, DeadlineRun, FailedRun, RunOutcome};
+pub use accel::{Accelerator, DeadlineRun, FailedRun, RunOutcome, SliceRun};
 pub use checkpoint::{fingerprint_inputs, Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use config::MatRaptorConfig;
 pub use convert::{

@@ -104,6 +104,16 @@ impl CircuitBreaker {
         &self.transitions
     }
 
+    /// When an open breaker's cooldown expires — the cycle at which
+    /// [`admits`](CircuitBreaker::admits) will move it to half-open.
+    /// `None` unless currently open. An event-driven caller (the worker
+    /// fleet) uses this to advance idle time to the probe instead of
+    /// polling: with every accelerator worker shed and no CPU tier, the
+    /// next schedulable event *is* the reopen.
+    pub fn reopens_at(&self) -> Option<Cycle> {
+        (self.state == BreakerState::Open).then_some(self.open_until)
+    }
+
     /// Whether a job may be dispatched to the accelerator at `now`. An
     /// expired cooldown moves open → half-open here, so the caller's
     /// dispatch becomes the probe.

@@ -1,0 +1,1359 @@
+//! A deterministic fault-tolerant fleet of simulated workers.
+//!
+//! The [`Fleet`] scales the single-machine [`Service`](crate::Service)
+//! model out to N accelerator workers plus M CPU-fallback workers behind
+//! the *same* admission front end (bounded tenant queues, flop-estimate
+//! deadlines, DRR fairness, circuit breaker, fleet-wide quarantine). It is
+//! a discrete-event simulation in fleet cycles: every worker schedules its
+//! next event (slice completion, heartbeat deadline, restart completion),
+//! the fleet processes the earliest event (ties broken by worker id), and
+//! all state evolves deterministically from the submission sequence and
+//! the seeded [`WorkerFaultPlan`] — so a 10k-job campaign that crashes,
+//! hangs, degrades, and retires workers mid-flight still replays
+//! byte-identically.
+//!
+//! The failure lifecycle:
+//!
+//! * jobs run in bounded **slices** ([`Driver::launch_slice`]) of
+//!   `slice_cycles` accelerator cycles, each boundary both a heartbeat and
+//!   a checkpoint;
+//! * a **crash** is detected immediately (process death is loud); a
+//!   **hang** is detected when the worker's heartbeat stays silent past
+//!   the liveness window (the per-worker [`Watchdog`] confirms); a
+//!   **slow** worker whose slice wall time breaches the window is treated
+//!   as dead-in-practice;
+//! * the failed worker's in-flight job is **re-dispatched** from its last
+//!   checkpoint to any healthy worker — bit-identical resumption is the
+//!   DESIGN.md §9 replay invariant — guarded by **at-most-once
+//!   accounting**: a resolved job id is never resolved again, so a
+//!   lost-ack crash cannot double-count;
+//! * each worker walks an escalating recovery ladder: full **restart**
+//!   (`max_restarts` times), then **reduced-lanes degradation** (lane
+//!   count halves; checkpoints from full-width peers no longer fit and
+//!   those jobs restart from scratch), then **retirement**, which
+//!   activates a CPU-fallback slot to absorb the lost capacity;
+//! * quarantine strikes are **fleet-wide**: a poison pair struck on worker
+//!   0 is refused at admission no matter which worker would have run it.
+//!
+//! [`Driver::launch_slice`]: matraptor_core::Driver::launch_slice
+//! [`Watchdog`]: matraptor_sim::Watchdog
+
+use std::collections::{BTreeSet, VecDeque};
+
+use matraptor_core::{classify, Driver, DriverError, MtxWrite, SliceRun, Verdict};
+use matraptor_sim::trace::{fnv1a64, MetricsRegistry};
+use matraptor_sim::{Cycle, SimClock};
+use matraptor_sparse::{spgemm, Csr};
+
+use crate::breaker::{BreakerState, BreakerTransition, CircuitBreaker};
+use crate::job::{Disposition, JobId, JobRecord, JobSpec, Rejected};
+use crate::quarantine::Quarantine;
+use crate::sched::{DrrScheduler, Pending};
+use crate::service::{admit, fault_cycle_charge, ServiceConfig, ServiceCounters, ServiceError};
+use crate::worker::{
+    Assignment, ScheduledEvent, SliceOutcome, Worker, WorkerClass, WorkerFault, WorkerFaultPlan,
+    WorkerId, WorkerState, WorkerStatus,
+};
+
+/// Full fleet configuration: the shared service front end plus the worker
+/// topology and failure-handling tunables.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The admission/deadline/breaker/quarantine front end and the
+    /// template accelerator configuration every worker is built from.
+    pub service: ServiceConfig,
+    /// Accelerator workers (clamped to ≥ 1).
+    pub accel_workers: usize,
+    /// CPU-fallback workers (clamped to ≥ 1 — the host always offers at
+    /// least one shed slot, as in the single-machine service).
+    pub cpu_workers: usize,
+    /// Accelerator cycles per execution slice — the heartbeat interval.
+    /// Smaller slices mean tighter liveness detection and less work lost
+    /// per crash, at more checkpoint overhead. Clamped to ≥ 1.
+    pub slice_cycles: u64,
+    /// Fleet cycles of heartbeat silence before a worker is declared dead.
+    /// Clamped to ≥ `slice_cycles` so a healthy nominal-speed slice can
+    /// never breach it.
+    pub heartbeat_window: u64,
+    /// Fleet cycles a worker restart takes (clamped to ≥ 1).
+    pub restart_cycles: u64,
+    /// Full restarts granted before a worker degrades to reduced lanes.
+    pub max_restarts: u32,
+    /// Degraded restarts granted before a worker retires.
+    pub max_degraded_restarts: u32,
+    /// The worker-failure schedule for this run, if any.
+    pub worker_faults: Option<WorkerFaultPlan>,
+}
+
+impl FleetConfig {
+    /// A 4+1-worker fleet over the small test service configuration, used
+    /// by unit tests and doc examples.
+    pub fn small_test() -> Self {
+        FleetConfig {
+            service: ServiceConfig::small_test(),
+            accel_workers: 4,
+            cpu_workers: 1,
+            slice_cycles: 4_096,
+            heartbeat_window: 100_000,
+            restart_cycles: 25_000,
+            max_restarts: 2,
+            max_degraded_restarts: 1,
+            worker_faults: None,
+        }
+    }
+}
+
+/// One entry of the fleet's recovery log: what the failure-handling
+/// machinery did, when, and to whom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// A worker crash was detected (immediately — process death is loud).
+    CrashDetected,
+    /// A hung worker was detected by the heartbeat liveness window.
+    HangDetected,
+    /// A slice's wall time breached the liveness window: the worker is
+    /// slow enough to be indistinguishable from dead and is recycled.
+    SlownessDetected,
+    /// A worker finished restarting and rejoined the dispatch pool.
+    Restarted {
+        /// Lane count after the restart (restarts preserve, degradations
+        /// halve).
+        lanes: usize,
+    },
+    /// A worker exhausted its full restarts and degraded to fewer lanes.
+    Degraded {
+        /// The new (halved) lane count.
+        lanes: usize,
+    },
+    /// A worker exhausted the whole ladder and was removed from dispatch;
+    /// its share sheds to the CPU tier.
+    Retired,
+    /// A re-dispatched job resumed from its last checkpoint on a healthy
+    /// worker.
+    ResumedFromCheckpoint {
+        /// The resumed job.
+        job: JobId,
+        /// The accelerator cycle the checkpoint restored to.
+        at_cycle: u64,
+    },
+    /// A re-dispatched job had no usable checkpoint (none taken yet, or
+    /// the target worker is degraded and the checkpoint no longer fits)
+    /// and restarted from cycle zero.
+    RestartedFromScratch {
+        /// The restarted job.
+        job: JobId,
+    },
+    /// Recovery wanted to re-dispatch a job that had already resolved —
+    /// the lost-ack race — and the at-most-once accounting suppressed it.
+    DuplicateCompletionSuppressed {
+        /// The already-resolved job.
+        job: JobId,
+    },
+}
+
+impl RecoveryKind {
+    /// Stable lowercase label used in JSON reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryKind::CrashDetected => "crash_detected",
+            RecoveryKind::HangDetected => "hang_detected",
+            RecoveryKind::SlownessDetected => "slowness_detected",
+            RecoveryKind::Restarted { .. } => "restarted",
+            RecoveryKind::Degraded { .. } => "degraded",
+            RecoveryKind::Retired => "retired",
+            RecoveryKind::ResumedFromCheckpoint { .. } => "resumed_from_checkpoint",
+            RecoveryKind::RestartedFromScratch { .. } => "restarted_from_scratch",
+            RecoveryKind::DuplicateCompletionSuppressed { .. } => "duplicate_suppressed",
+        }
+    }
+}
+
+/// One recovery-log event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Fleet cycle of the event.
+    pub at: Cycle,
+    /// The worker involved.
+    pub worker: WorkerId,
+    /// What happened.
+    pub kind: RecoveryKind,
+}
+
+/// Monotone fleet-level counters, alongside the shared
+/// [`ServiceCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetCounters {
+    /// Worker crashes detected (including lost-ack crashes).
+    pub worker_crashes: u64,
+    /// Hung workers detected by the heartbeat window.
+    pub worker_hangs: u64,
+    /// Slowdown injections applied.
+    pub worker_slowdowns: u64,
+    /// Slice wall times that breached the liveness window.
+    pub slowness_detections: u64,
+    /// Worker restarts initiated (full or degraded).
+    pub worker_restarts: u64,
+    /// Degradation rungs taken (lane halvings).
+    pub worker_degradations: u64,
+    /// Workers permanently retired.
+    pub worker_retirements: u64,
+    /// In-flight jobs re-queued after a worker failure.
+    pub redispatches: u64,
+    /// Re-dispatched jobs that resumed from a checkpoint.
+    pub resumed_from_checkpoint: u64,
+    /// Re-dispatched jobs that restarted from cycle zero.
+    pub restarted_from_scratch: u64,
+    /// Already-resolved jobs whose re-dispatch was suppressed (the
+    /// at-most-once guard doing its job).
+    pub duplicates_suppressed: u64,
+    /// Jobs that resolved twice — **must stay zero**; any other value is
+    /// an accounting bug the campaign gate fails on.
+    pub duplicate_completions: u64,
+}
+
+/// A resolved job as the fleet records it: the service-level record plus
+/// fleet provenance (which worker resolved it, how many worker failures it
+/// survived, and the output fingerprint for replay gates).
+#[derive(Debug, Clone)]
+pub struct FleetRecord {
+    /// The service-level bookkeeping record.
+    pub record: JobRecord,
+    /// The worker that resolved the job.
+    pub worker: WorkerId,
+    /// Worker failures this job survived (re-queue count).
+    pub redispatches: u32,
+    /// Whether any dispatch resumed from a mid-job checkpoint.
+    pub resumed_from_checkpoint: bool,
+    /// FNV-1a-64 fingerprint of the output matrix, for completions
+    /// (accelerator or CPU); `None` for jobs with no output.
+    pub output_fingerprint: Option<u64>,
+}
+
+/// The serializable bookkeeping state of the whole fleet: clock, shared
+/// counters, the at-most-once resolution set, and every worker's
+/// [`WorkerState`]. Queued payloads (operand `Rc`s in the scheduler and
+/// re-dispatch queues) are deliberately outside it — jobs in flight are
+/// recovered through their own checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetState {
+    /// Fleet cycle of the snapshot.
+    pub now: Cycle,
+    /// Next job id to issue.
+    pub next_id: u64,
+    /// Shared service counters.
+    pub counters: ServiceCounters,
+    /// Fleet-level counters.
+    pub fleet: FleetCounters,
+    /// Resolved job ids (sorted), the at-most-once set.
+    pub resolved: Vec<u64>,
+    /// The accelerator worker holding the half-open breaker probe, if any.
+    pub probe_worker: Option<usize>,
+    /// Per-worker bookkeeping states, in worker-id order.
+    pub workers: Vec<WorkerState>,
+}
+
+/// FNV-1a-64 fingerprint of a CSR matrix's full contents (dimensions,
+/// structure, and value bits), for byte-identity gates on job outputs.
+pub fn fingerprint_output(c: &Csr<f64>) -> u64 {
+    let mut bytes = Vec::with_capacity(24 + c.nnz().saturating_mul(16));
+    bytes.extend_from_slice(&(c.rows() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(c.cols() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(c.nnz() as u64).to_le_bytes());
+    for &p in c.row_ptr() {
+        bytes.extend_from_slice(&(p as u64).to_le_bytes());
+    }
+    for &j in c.col_idx() {
+        bytes.extend_from_slice(&u64::from(j).to_le_bytes());
+    }
+    for v in c.values() {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// The deterministic multi-worker fleet. See the module docs for the
+/// model.
+#[derive(Debug)]
+pub struct Fleet {
+    // conformance:allow(checkpoint-coverage): immutable construction input
+    cfg: FleetConfig,
+    clock: SimClock,
+    // conformance:allow(checkpoint-coverage): queued operand payloads are not serialized; jobs recover via their own checkpoints
+    sched: DrrScheduler,
+    // conformance:allow(checkpoint-coverage): rides the live object; fleet snapshots cover bookkeeping, not breaker history
+    breaker: CircuitBreaker,
+    // conformance:allow(checkpoint-coverage): rides the live object; strike history is service policy, not fleet bookkeeping
+    quarantine: Quarantine,
+    counters: ServiceCounters,
+    fleet: FleetCounters,
+    workers: Vec<Worker>,
+    // conformance:allow(checkpoint-coverage): in-flight payloads, recovered through job checkpoints
+    redispatch: VecDeque<Assignment>,
+    // conformance:allow(checkpoint-coverage): in-flight payloads, recovered through job checkpoints
+    shed_cpu: VecDeque<Assignment>,
+    resolved: BTreeSet<u64>,
+    // conformance:allow(checkpoint-coverage): append-only history, not replay state
+    records: Vec<FleetRecord>,
+    // conformance:allow(checkpoint-coverage): append-only history, not replay state
+    recovery_log: Vec<RecoveryEvent>,
+    // conformance:allow(checkpoint-coverage): consumed schedule; a resumed campaign re-arms its own plan
+    faults: Option<WorkerFaultPlan>,
+    next_id: u64,
+    probe_worker: Option<usize>,
+}
+
+impl Fleet {
+    /// Builds the fleet, validating the template accelerator configuration
+    /// once per worker.
+    pub fn new(cfg: FleetConfig) -> Result<Self, ServiceError> {
+        if cfg.service.tenants.is_empty() {
+            return Err(ServiceError::NoTenants);
+        }
+        let mut cfg = cfg;
+        cfg.accel_workers = cfg.accel_workers.max(1);
+        cfg.cpu_workers = cfg.cpu_workers.max(1);
+        cfg.slice_cycles = cfg.slice_cycles.max(1);
+        cfg.heartbeat_window = cfg.heartbeat_window.max(cfg.slice_cycles);
+        cfg.restart_cycles = cfg.restart_cycles.max(1);
+        let weights: Vec<(u64, usize)> =
+            cfg.service.tenants.iter().map(|t| (t.weight, t.queue_capacity)).collect();
+        let sched = DrrScheduler::new(cfg.service.quantum_cycles, &weights);
+        let breaker = CircuitBreaker::new(cfg.service.breaker);
+        let quarantine = Quarantine::new(cfg.service.quarantine_threshold);
+        let mut workers = Vec::with_capacity(cfg.accel_workers + cfg.cpu_workers);
+        for id in 0..cfg.accel_workers + cfg.cpu_workers {
+            let class = if id < cfg.accel_workers {
+                WorkerClass::Accelerator
+            } else {
+                WorkerClass::CpuFallback
+            };
+            let worker = Worker::new(id, class, cfg.service.accel.clone(), cfg.heartbeat_window)
+                .map_err(ServiceError::InvalidAccelConfig)?;
+            workers.push(worker);
+        }
+        let faults = cfg.worker_faults.clone();
+        Ok(Fleet {
+            cfg,
+            clock: SimClock::new(),
+            sched,
+            breaker,
+            quarantine,
+            counters: ServiceCounters::default(),
+            fleet: FleetCounters::default(),
+            workers,
+            redispatch: VecDeque::new(),
+            shed_cpu: VecDeque::new(),
+            resolved: BTreeSet::new(),
+            records: Vec::new(),
+            recovery_log: Vec::new(),
+            faults,
+            next_id: 0,
+            probe_worker: None,
+        })
+    }
+
+    /// Current simulated fleet time.
+    pub fn now(&self) -> Cycle {
+        self.clock.now()
+    }
+
+    /// Advance simulated time to `at` (idle time between arrivals); no-op
+    /// when `at` is in the past.
+    pub fn advance_to(&mut self, at: Cycle) -> bool {
+        self.clock.advance_to(at)
+    }
+
+    /// Jobs admitted but not yet resolved (queued, re-dispatching, or in
+    /// flight).
+    pub fn pending(&self) -> usize {
+        let in_flight = self.workers.iter().filter(|w| w.assignment.is_some()).count();
+        self.sched.len() + self.redispatch.len() + self.shed_cpu.len() + in_flight
+    }
+
+    /// Shared service counters.
+    pub fn counters(&self) -> &ServiceCounters {
+        &self.counters
+    }
+
+    /// Fleet-level counters.
+    pub fn fleet_counters(&self) -> &FleetCounters {
+        &self.fleet
+    }
+
+    /// All resolved jobs, in resolution order.
+    pub fn records(&self) -> &[FleetRecord] {
+        &self.records
+    }
+
+    /// The recovery log, in event order.
+    pub fn recovery_log(&self) -> &[RecoveryEvent] {
+        &self.recovery_log
+    }
+
+    /// The workers, in id order.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Current breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Breaker state changes so far.
+    pub fn breaker_transitions(&self) -> &[BreakerTransition] {
+        self.breaker.transitions()
+    }
+
+    /// Distinct operand pairs quarantined so far (fleet-wide).
+    pub fn quarantined_inputs(&self) -> usize {
+        self.quarantine.quarantined_count()
+    }
+
+    /// Submit a job through the shared admission front end — identical
+    /// semantics (and counter evolution) to
+    /// [`Service::submit`](crate::Service::submit).
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, Rejected> {
+        admit(
+            &self.cfg.service.tenants,
+            &self.quarantine,
+            &mut self.sched,
+            &mut self.counters,
+            &mut self.next_id,
+            self.clock.now(),
+            spec,
+        )
+    }
+
+    /// Run until every admitted job resolves and every worker is idle,
+    /// hung-and-undetectable-no-more, or retired.
+    pub fn run_to_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Dispatch any possible work, then process the earliest scheduled
+    /// worker event. `false` when the fleet is fully idle (no events, no
+    /// dispatchable backlog).
+    pub fn step(&mut self) -> bool {
+        self.pump();
+        if let Some((at, w)) = self.next_event() {
+            self.clock.advance_to(at);
+            self.process(w);
+            return true;
+        }
+        // No worker events. A remaining backlog can only be waiting on the
+        // open breaker's cooldown: advance idle time to the reopen and try
+        // once more.
+        if self.backlog() > 0 {
+            if let Some(reopen) = self.breaker.reopens_at() {
+                self.clock.advance_to(reopen);
+                self.pump();
+                if let Some((at, w)) = self.next_event() {
+                    self.clock.advance_to(at);
+                    self.process(w);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Undispatched jobs (scheduler plus recovery queues).
+    fn backlog(&self) -> usize {
+        self.sched.len() + self.redispatch.len() + self.shed_cpu.len()
+    }
+
+    /// Accelerator workers still participating in dispatch.
+    fn live_accel_count(&self) -> usize {
+        self.workers.iter().filter(|w| w.class() == WorkerClass::Accelerator && w.is_live()).count()
+    }
+
+    /// Whether CPU worker `w` may pull *fresh* jobs from the scheduler:
+    /// all slots activate while the breaker sheds, and one slot activates
+    /// per retired accelerator worker (the "shed its share" rule).
+    fn cpu_slot_active(&self, w: usize) -> bool {
+        let idx = w.saturating_sub(self.cfg.accel_workers);
+        if self.breaker.state() != BreakerState::Closed {
+            return true;
+        }
+        let retired = self
+            .workers
+            .iter()
+            .filter(|wk| wk.class() == WorkerClass::Accelerator && !wk.is_live())
+            .count();
+        idx < retired.min(self.cfg.cpu_workers)
+    }
+
+    /// The earliest scheduled worker event, ties broken by worker id.
+    fn next_event(&self) -> Option<(Cycle, usize)> {
+        let mut best: Option<(Cycle, usize)> = None;
+        for (w, worker) in self.workers.iter().enumerate() {
+            let at = match worker.status() {
+                WorkerStatus::Busy => worker.pending.as_ref().map(|e| e.at),
+                WorkerStatus::Hung => Some(worker.heartbeat_deadline()),
+                WorkerStatus::Restarting { until } => Some(until),
+                WorkerStatus::Idle | WorkerStatus::Retired => None,
+            };
+            if let Some(at) = at {
+                if best.is_none_or(|(b, _)| at < b) {
+                    best = Some((at, w));
+                }
+            }
+        }
+        best
+    }
+
+    /// Dispatch work to every idle worker that may take it, in worker-id
+    /// order (the deterministic SPMC dispatch ring: worker order is fixed,
+    /// so a given submission sequence always maps jobs to workers the same
+    /// way).
+    fn pump(&mut self) {
+        let now = self.clock.now();
+        for w in 0..self.workers.len() {
+            if !self.workers[w].is_idle() {
+                continue;
+            }
+            match self.workers[w].class() {
+                WorkerClass::Accelerator => {
+                    if !self.breaker.admits(now) {
+                        continue;
+                    }
+                    if self.breaker.state() == BreakerState::HalfOpen && self.probe_worker.is_some()
+                    {
+                        // Exactly one probe flows while half-open.
+                        continue;
+                    }
+                    let Some(asg) = self.take_accel_work(w, now) else {
+                        continue;
+                    };
+                    self.dispatch_accel(w, asg);
+                    if self.breaker.state() == BreakerState::HalfOpen {
+                        self.probe_worker = Some(w);
+                    }
+                }
+                WorkerClass::CpuFallback => {
+                    if let Some(asg) = self.shed_cpu.pop_front() {
+                        self.dispatch_cpu(w, asg);
+                    } else if self.cpu_slot_active(w) {
+                        if let Some(p) = self.sched.pop() {
+                            self.dispatch_cpu(w, fresh_assignment(p, now));
+                        }
+                    } else if self.live_accel_count() == 0 {
+                        // No accelerator will ever resume these: the CPU
+                        // tier absorbs the orphaned re-dispatch queue.
+                        if let Some(asg) = self.take_redispatch(w) {
+                            self.dispatch_cpu(w, asg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Next assignment for an accelerator worker: recovery queue first
+    /// (resuming beats starting), then the DRR scheduler.
+    fn take_accel_work(&mut self, w: usize, now: Cycle) -> Option<Assignment> {
+        if let Some(asg) = self.take_redispatch(w) {
+            return Some(asg);
+        }
+        self.sched.pop().map(|p| fresh_assignment(p, now))
+    }
+
+    /// Pop the re-dispatch queue, suppressing entries that already
+    /// resolved (the belt to the requeue-time braces of the at-most-once
+    /// guard).
+    fn take_redispatch(&mut self, w: usize) -> Option<Assignment> {
+        while let Some(asg) = self.redispatch.pop_front() {
+            if self.resolved.contains(&asg.job.id.0) {
+                self.fleet.duplicates_suppressed =
+                    self.fleet.duplicates_suppressed.saturating_add(1);
+                self.log(w, RecoveryKind::DuplicateCompletionSuppressed { job: asg.job.id });
+                continue;
+            }
+            return Some(asg);
+        }
+        None
+    }
+
+    /// Hand an assignment to an accelerator worker and start its first
+    /// slice. Resumable checkpoints are validated against the worker's
+    /// shape here: a degraded worker cannot restore a full-width
+    /// checkpoint, so those jobs restart from scratch (logged).
+    fn dispatch_accel(&mut self, w: usize, mut asg: Assignment) {
+        self.workers[w].stats.dispatches = self.workers[w].stats.dispatches.saturating_add(1);
+        let job = asg.job.id;
+        if asg.checkpoint.is_some() {
+            if self.workers[w].matches_template() {
+                asg.resumed = true;
+                self.fleet.resumed_from_checkpoint =
+                    self.fleet.resumed_from_checkpoint.saturating_add(1);
+                self.log(w, RecoveryKind::ResumedFromCheckpoint { job, at_cycle: asg.executed });
+            } else {
+                asg.checkpoint = None;
+                asg.executed = 0;
+                self.fleet.restarted_from_scratch =
+                    self.fleet.restarted_from_scratch.saturating_add(1);
+                self.log(w, RecoveryKind::RestartedFromScratch { job });
+            }
+        } else if asg.redispatches > 0 {
+            self.fleet.restarted_from_scratch = self.fleet.restarted_from_scratch.saturating_add(1);
+            self.log(w, RecoveryKind::RestartedFromScratch { job });
+        }
+        if asg.attempts == 0 {
+            asg.attempts = 1;
+        }
+        self.workers[w].assignment = Some(asg);
+        self.workers[w].status = WorkerStatus::Busy;
+        self.begin_slice(w);
+    }
+
+    /// Hand an assignment to a CPU worker: the host computes the product
+    /// outright (no slices, no faults — the reliable tier) and the event
+    /// fires after the flop-proportional cycle charge.
+    fn dispatch_cpu(&mut self, w: usize, asg: Assignment) {
+        let now = self.clock.now();
+        let worker = &mut self.workers[w];
+        worker.stats.dispatches = worker.stats.dispatches.saturating_add(1);
+        let product = spgemm::gustavson(&asg.job.a, &asg.job.b);
+        let fingerprint = fingerprint_output(&product);
+        let cycles = asg
+            .job
+            .estimated_flops
+            .saturating_mul(self.cfg.service.cpu_cycles_per_flop.max(1))
+            .max(1);
+        worker.pending = Some(ScheduledEvent {
+            at: Cycle(now.0.saturating_add(cycles)),
+            began: now,
+            outcome: SliceOutcome::CpuCompleted(fingerprint),
+        });
+        worker.assignment = Some(asg);
+        worker.status = WorkerStatus::Busy;
+    }
+
+    /// Start (or continue) the current assignment's next slice on worker
+    /// `w`: fire any due worker fault, then run the bounded slice through
+    /// the driver re-entry path and schedule its outcome event.
+    fn begin_slice(&mut self, w: usize) {
+        let now = self.clock.now();
+        if let Some(kind) =
+            self.faults.as_mut().and_then(|plan| plan.fire(w, self.workers[w].slices_executed))
+        {
+            match kind {
+                WorkerFault::Crash => {
+                    self.fleet.worker_crashes = self.fleet.worker_crashes.saturating_add(1);
+                    self.log(w, RecoveryKind::CrashDetected);
+                    self.fail_worker(w);
+                    return;
+                }
+                WorkerFault::Hang => {
+                    // Silent: no event is scheduled; the heartbeat
+                    // deadline poll will find the corpse.
+                    self.workers[w].pending = None;
+                    self.workers[w].status = WorkerStatus::Hung;
+                    return;
+                }
+                WorkerFault::SlowDown { factor } => {
+                    self.fleet.worker_slowdowns = self.fleet.worker_slowdowns.saturating_add(1);
+                    self.workers[w].slow_factor = factor.max(2);
+                }
+                WorkerFault::CrashAfterCompletion => {
+                    self.workers[w].crash_after_complete = true;
+                }
+            }
+        }
+        let slice = self.cfg.slice_cycles;
+        let worker = &mut self.workers[w];
+        let Some(asg) = worker.assignment.as_mut() else {
+            worker.status = WorkerStatus::Idle;
+            return;
+        };
+        let Some(accel) = worker.accel.as_ref() else {
+            worker.status = WorkerStatus::Idle;
+            return;
+        };
+        let deadline = asg.job.deadline_cycles.max(1);
+        let target = asg.executed.saturating_add(slice).min(deadline);
+        let result = {
+            let mut driver = Driver::new(accel);
+            driver.mtx(MtxWrite::ARows(asg.job.a.rows() as u64));
+            driver.mtx(MtxWrite::BRows(asg.job.b.rows() as u64));
+            driver.mtx(MtxWrite::X0(1));
+            driver.launch_slice(
+                &asg.job.a,
+                &asg.job.b,
+                asg.job.plan.as_ref(),
+                asg.checkpoint.as_deref(),
+                target,
+            )
+        };
+        let (delta, outcome) = match result {
+            Ok(SliceRun::Completed(o)) => {
+                let d = o.stats.total_cycles.max(1).saturating_sub(asg.executed).max(1);
+                (d, SliceOutcome::Completed(o))
+            }
+            Ok(SliceRun::Paused(ck)) => {
+                let at_cycle = ck.cycle();
+                let d = at_cycle.saturating_sub(asg.executed).max(1);
+                if at_cycle >= deadline {
+                    (d, SliceOutcome::Cancelled)
+                } else {
+                    (d, SliceOutcome::Paused(ck))
+                }
+            }
+            Err(DriverError::AcceleratorFault(e)) => {
+                let charge = fault_cycle_charge(&e, deadline);
+                (charge.saturating_sub(asg.executed).max(1), SliceOutcome::Faulted)
+            }
+            Err(_) => (1, SliceOutcome::Refused),
+        };
+        let wall = delta.saturating_mul(worker.slow_factor.max(1));
+        worker.pending =
+            Some(ScheduledEvent { at: Cycle(now.0.saturating_add(wall)), began: now, outcome });
+        worker.status = WorkerStatus::Busy;
+    }
+
+    /// Process worker `w`'s due event at the (already advanced) clock.
+    fn process(&mut self, w: usize) {
+        match self.workers[w].status() {
+            WorkerStatus::Hung => self.detect_hang(w),
+            WorkerStatus::Restarting { .. } => self.finish_restart(w),
+            WorkerStatus::Busy => self.apply_slice_event(w),
+            WorkerStatus::Idle | WorkerStatus::Retired => {}
+        }
+    }
+
+    /// The heartbeat deadline fired for a hung worker: confirm via the
+    /// watchdog and recycle it.
+    fn detect_hang(&mut self, w: usize) {
+        let now = self.clock.now();
+        // The watchdog is the detector of record; the poll time is chosen
+        // so silence has provably exceeded the window. The `expired` check
+        // is defensive totality, not a real branch.
+        let expired = self.workers[w].heartbeat_expired(now);
+        debug_assert!(expired, "liveness poll fired before the window elapsed");
+        self.fleet.worker_hangs = self.fleet.worker_hangs.saturating_add(1);
+        self.log(w, RecoveryKind::HangDetected);
+        self.fail_worker(w);
+    }
+
+    /// A restart completed: rebuild the machine at the worker's (possibly
+    /// degraded) lane count and rejoin the pool, or retire if the degraded
+    /// shape no longer validates.
+    fn finish_restart(&mut self, w: usize) {
+        let now = self.clock.now();
+        if self.workers[w].rebuild_accel() {
+            self.workers[w].status = WorkerStatus::Idle;
+            self.workers[w].beat(now);
+            let lanes = self.workers[w].lanes();
+            self.log(w, RecoveryKind::Restarted { lanes });
+        } else {
+            self.retire(w);
+        }
+    }
+
+    /// Apply the scheduled slice outcome for worker `w`.
+    fn apply_slice_event(&mut self, w: usize) {
+        let now = self.clock.now();
+        let Some(event) = self.workers[w].pending.take() else {
+            self.workers[w].status = WorkerStatus::Idle;
+            return;
+        };
+        let wall = event.at.0.saturating_sub(event.began.0);
+        {
+            let stats = &mut self.workers[w].stats;
+            stats.busy_cycles = stats.busy_cycles.saturating_add(wall);
+        }
+        self.workers[w].slices_executed = self.workers[w].slices_executed.saturating_add(1);
+        match event.outcome {
+            SliceOutcome::Completed(outcome) => {
+                self.breaker.record_success(now);
+                self.probe_worker = None;
+                self.counters.completed_accel += 1;
+                let Some(asg) = self.workers[w].assignment.take() else {
+                    self.workers[w].status = WorkerStatus::Idle;
+                    return;
+                };
+                let fingerprint = fingerprint_output(&outcome.c);
+                if let Some(plan) = &asg.job.plan {
+                    // Completion under an injected fault is only
+                    // acceptable for survivable kinds; anything else is a
+                    // silent escape the campaign must flag.
+                    let probe = Ok(*outcome);
+                    if classify(plan.kind, &probe) == Verdict::Escaped {
+                        self.counters.escapes += 1;
+                    }
+                }
+                self.resolve(&asg, w, Disposition::Completed, Some(fingerprint));
+                self.workers[w].stats.completed = self.workers[w].stats.completed.saturating_add(1);
+                self.workers[w].beat(now);
+                if self.workers[w].crash_after_complete {
+                    // The lost-ack race: the result is recorded, but the
+                    // worker dies before recovery bookkeeping sees the
+                    // acknowledgement — so the assignment goes back in as
+                    // if still in flight, and the at-most-once guard must
+                    // suppress the re-dispatch.
+                    self.fleet.worker_crashes = self.fleet.worker_crashes.saturating_add(1);
+                    self.log(w, RecoveryKind::CrashDetected);
+                    self.workers[w].assignment = Some(asg);
+                    self.fail_worker(w);
+                } else {
+                    self.workers[w].status = WorkerStatus::Idle;
+                }
+            }
+            SliceOutcome::Paused(checkpoint) => {
+                if let Some(asg) = self.workers[w].assignment.as_mut() {
+                    asg.executed = checkpoint.cycle();
+                    asg.checkpoint = Some(checkpoint);
+                }
+                self.workers[w].beat(now);
+                if wall > self.cfg.heartbeat_window {
+                    // The slice took longer than the liveness window: to
+                    // every observer this worker was dead. Recycle it; the
+                    // job keeps the fresh checkpoint and resumes elsewhere.
+                    self.fleet.slowness_detections =
+                        self.fleet.slowness_detections.saturating_add(1);
+                    self.log(w, RecoveryKind::SlownessDetected);
+                    self.fail_worker(w);
+                } else {
+                    self.begin_slice(w);
+                }
+            }
+            SliceOutcome::Cancelled => {
+                self.counters.deadline_exceeded = self.counters.deadline_exceeded.saturating_add(1);
+                self.workers[w].beat(now);
+                let Some(asg) = self.workers[w].assignment.take() else {
+                    self.workers[w].status = WorkerStatus::Idle;
+                    return;
+                };
+                self.resolve(&asg, w, Disposition::DeadlineExceeded, None);
+                self.workers[w].stats.completed = self.workers[w].stats.completed.saturating_add(1);
+                self.workers[w].status = WorkerStatus::Idle;
+            }
+            SliceOutcome::Faulted => {
+                self.breaker.record_failure(now);
+                self.probe_worker = None;
+                self.workers[w].beat(now);
+                let max_attempts = self.cfg.service.max_attempts.max(1);
+                let Some(asg) = self.workers[w].assignment.as_mut() else {
+                    self.workers[w].status = WorkerStatus::Idle;
+                    return;
+                };
+                // Retries restart from scratch: under the persistent-fault
+                // model the armed fault state rides the checkpoint, so a
+                // resume would refault identically.
+                asg.checkpoint = None;
+                asg.executed = 0;
+                if asg.attempts < max_attempts {
+                    self.counters.retries += 1;
+                    if self.breaker.admits(now) {
+                        if let Some(asg) = self.workers[w].assignment.as_mut() {
+                            asg.attempts = asg.attempts.saturating_add(1);
+                        }
+                        self.begin_slice(w);
+                    } else if let Some(asg) = self.workers[w].assignment.take() {
+                        // The breaker opened under us: shed the retry to
+                        // the CPU tier, as the single-machine service does.
+                        self.shed_cpu.push_back(asg);
+                        self.workers[w].status = WorkerStatus::Idle;
+                    }
+                } else {
+                    self.counters.failed += 1;
+                    let Some(asg) = self.workers[w].assignment.take() else {
+                        self.workers[w].status = WorkerStatus::Idle;
+                        return;
+                    };
+                    self.quarantine.strike(asg.job.fingerprint);
+                    self.resolve(&asg, w, Disposition::Failed, None);
+                    self.workers[w].stats.completed =
+                        self.workers[w].stats.completed.saturating_add(1);
+                    self.workers[w].status = WorkerStatus::Idle;
+                }
+            }
+            SliceOutcome::Refused => {
+                // Preflight refusal is deterministic; retrying cannot
+                // help — fail and strike, as the single-machine service.
+                self.counters.failed += 1;
+                self.workers[w].beat(now);
+                let Some(asg) = self.workers[w].assignment.take() else {
+                    self.workers[w].status = WorkerStatus::Idle;
+                    return;
+                };
+                self.quarantine.strike(asg.job.fingerprint);
+                self.resolve(&asg, w, Disposition::Failed, None);
+                self.workers[w].status = WorkerStatus::Idle;
+            }
+            SliceOutcome::CpuCompleted(fingerprint) => {
+                self.counters.completed_cpu += 1;
+                self.workers[w].beat(now);
+                let Some(asg) = self.workers[w].assignment.take() else {
+                    self.workers[w].status = WorkerStatus::Idle;
+                    return;
+                };
+                self.resolve(&asg, w, Disposition::CompletedOnCpu, Some(fingerprint));
+                self.workers[w].stats.completed = self.workers[w].stats.completed.saturating_add(1);
+                self.workers[w].status = WorkerStatus::Idle;
+            }
+        }
+    }
+
+    /// The worker-failure path shared by crash, hang, and slowness
+    /// detection: requeue the in-flight job (unless already resolved —
+    /// the at-most-once guard), then walk the worker down the recovery
+    /// ladder: restart → reduced-lanes restart → retire.
+    fn fail_worker(&mut self, w: usize) {
+        let now = self.clock.now();
+        if self.probe_worker == Some(w) {
+            self.probe_worker = None;
+        }
+        if let Some(mut asg) = self.workers[w].assignment.take() {
+            if self.resolved.contains(&asg.job.id.0) {
+                self.fleet.duplicates_suppressed =
+                    self.fleet.duplicates_suppressed.saturating_add(1);
+                self.log(w, RecoveryKind::DuplicateCompletionSuppressed { job: asg.job.id });
+            } else {
+                asg.redispatches = asg.redispatches.saturating_add(1);
+                self.fleet.redispatches = self.fleet.redispatches.saturating_add(1);
+                self.redispatch.push_back(asg);
+            }
+        }
+        let worker = &mut self.workers[w];
+        worker.pending = None;
+        worker.slow_factor = 1;
+        worker.crash_after_complete = false;
+        worker.restarts = worker.restarts.saturating_add(1);
+        let full = self.cfg.max_restarts;
+        let total = full.saturating_add(self.cfg.max_degraded_restarts);
+        if worker.restarts <= full {
+            self.fleet.worker_restarts = self.fleet.worker_restarts.saturating_add(1);
+            self.workers[w].status = WorkerStatus::Restarting {
+                until: Cycle(now.0.saturating_add(self.cfg.restart_cycles)),
+            };
+        } else if worker.restarts <= total {
+            worker.lanes = (worker.lanes / 2).max(1);
+            let lanes = worker.lanes;
+            self.fleet.worker_degradations = self.fleet.worker_degradations.saturating_add(1);
+            self.fleet.worker_restarts = self.fleet.worker_restarts.saturating_add(1);
+            self.log(w, RecoveryKind::Degraded { lanes });
+            self.workers[w].status = WorkerStatus::Restarting {
+                until: Cycle(now.0.saturating_add(self.cfg.restart_cycles)),
+            };
+        } else {
+            self.retire(w);
+        }
+    }
+
+    /// Remove a worker from dispatch permanently; the CPU tier absorbs
+    /// its share via [`Fleet::cpu_slot_active`].
+    fn retire(&mut self, w: usize) {
+        self.workers[w].status = WorkerStatus::Retired;
+        self.fleet.worker_retirements = self.fleet.worker_retirements.saturating_add(1);
+        self.log(w, RecoveryKind::Retired);
+    }
+
+    /// Resolve one job with at-most-once accounting: a second resolution
+    /// of the same id is counted (it is a bug) and dropped.
+    fn resolve(
+        &mut self,
+        asg: &Assignment,
+        w: usize,
+        disposition: Disposition,
+        output_fingerprint: Option<u64>,
+    ) {
+        if !self.resolved.insert(asg.job.id.0) {
+            self.fleet.duplicate_completions = self.fleet.duplicate_completions.saturating_add(1);
+            return;
+        }
+        self.records.push(FleetRecord {
+            record: JobRecord {
+                id: asg.job.id,
+                tenant: asg.job.tenant,
+                submitted_at: asg.job.submitted_at,
+                started_at: asg.first_dispatch,
+                finished_at: self.clock.now(),
+                estimated_flops: asg.job.estimated_flops,
+                deadline_cycles: asg.job.deadline_cycles,
+                attempts: asg.attempts,
+                disposition,
+            },
+            worker: WorkerId(w),
+            redispatches: asg.redispatches,
+            resumed_from_checkpoint: asg.resumed,
+            output_fingerprint,
+        });
+    }
+
+    fn log(&mut self, w: usize, kind: RecoveryKind) {
+        self.recovery_log.push(RecoveryEvent { at: self.clock.now(), worker: WorkerId(w), kind });
+    }
+
+    /// Snapshot the fleet's bookkeeping into the workspace's metrics
+    /// vocabulary: all `service.*` counters (same names as
+    /// [`Service::metrics`](crate::Service::metrics)), `fleet.*` recovery
+    /// counters, per-worker `worker.<i>.*` utilization counters, and the
+    /// job latency histograms. Deterministic, so its fingerprint can ride
+    /// a `--strict` replay gate.
+    pub fn metrics(&self) -> MetricsRegistry {
+        const CYCLE_BOUNDS: [u64; 10] =
+            [16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304];
+        let mut m = MetricsRegistry::new();
+        let c = &self.counters;
+        for (name, value) in [
+            ("service.submitted", c.submitted),
+            ("service.accepted", c.accepted),
+            ("service.rejected_queue_full", c.rejected_queue_full),
+            ("service.rejected_quarantined", c.rejected_quarantined),
+            ("service.rejected_invalid", c.rejected_invalid),
+            ("service.completed_accel", c.completed_accel),
+            ("service.completed_cpu", c.completed_cpu),
+            ("service.deadline_exceeded", c.deadline_exceeded),
+            ("service.failed", c.failed),
+            ("service.retries", c.retries),
+            ("service.escapes", c.escapes),
+            ("service.pending", self.pending() as u64),
+            ("service.quarantined_inputs", self.quarantine.quarantined_count() as u64),
+            ("service.breaker_transitions", self.breaker.transitions().len() as u64),
+        ] {
+            m.set_counter(name, value);
+        }
+        let f = &self.fleet;
+        for (name, value) in [
+            ("fleet.worker_crashes", f.worker_crashes),
+            ("fleet.worker_hangs", f.worker_hangs),
+            ("fleet.worker_slowdowns", f.worker_slowdowns),
+            ("fleet.slowness_detections", f.slowness_detections),
+            ("fleet.worker_restarts", f.worker_restarts),
+            ("fleet.worker_degradations", f.worker_degradations),
+            ("fleet.worker_retirements", f.worker_retirements),
+            ("fleet.redispatches", f.redispatches),
+            ("fleet.resumed_from_checkpoint", f.resumed_from_checkpoint),
+            ("fleet.restarted_from_scratch", f.restarted_from_scratch),
+            ("fleet.duplicates_suppressed", f.duplicates_suppressed),
+            ("fleet.duplicate_completions", f.duplicate_completions),
+            ("fleet.recovery_events", self.recovery_log.len() as u64),
+        ] {
+            m.set_counter(name, value);
+        }
+        for worker in &self.workers {
+            let i = worker.id().0;
+            let stats = worker.stats();
+            m.set_counter(&format!("worker.{i}.dispatches"), stats.dispatches);
+            m.set_counter(&format!("worker.{i}.completed"), stats.completed);
+            m.set_counter(&format!("worker.{i}.busy_cycles"), stats.busy_cycles);
+            m.set_counter(&format!("worker.{i}.restarts"), u64::from(worker.restarts()));
+        }
+        for r in &self.records {
+            let t = r.record.tenant.0;
+            m.add_counter(&format!("tenant.{t}.{}", r.record.disposition.label()), 1);
+            m.record("job.queue_wait", &CYCLE_BOUNDS, r.record.queue_wait());
+            m.record("job.service_cycles", &CYCLE_BOUNDS, r.record.service_cycles());
+            m.record("job.deadline_slack", &CYCLE_BOUNDS, r.record.deadline_slack());
+        }
+        m
+    }
+
+    /// Captures the fleet's bookkeeping state (see [`FleetState`] for what
+    /// is — and deliberately is not — included).
+    pub fn snapshot(&self) -> FleetState {
+        FleetState {
+            now: self.clock.now(),
+            next_id: self.next_id,
+            counters: self.counters,
+            fleet: self.fleet,
+            resolved: self.resolved.iter().copied().collect(),
+            probe_worker: self.probe_worker,
+            workers: self.workers.iter().map(Worker::snapshot).collect(),
+        }
+    }
+
+    /// Restores bookkeeping captured by [`Fleet::snapshot`] onto a fleet
+    /// with the same worker topology. `false` (and no mutation) if the
+    /// worker counts disagree.
+    pub fn restore(&mut self, s: &FleetState) -> bool {
+        if s.workers.len() != self.workers.len() {
+            return false;
+        }
+        self.clock = SimClock::new();
+        self.clock.advance_to(s.now);
+        self.next_id = s.next_id;
+        self.counters = s.counters;
+        self.fleet = s.fleet;
+        self.resolved = s.resolved.iter().copied().collect();
+        self.probe_worker = s.probe_worker;
+        for (worker, ws) in self.workers.iter_mut().zip(&s.workers) {
+            worker.restore(ws);
+        }
+        true
+    }
+}
+
+/// A newly-dispatched assignment for an admitted job.
+fn fresh_assignment(job: Pending, now: Cycle) -> Assignment {
+    Assignment {
+        job,
+        attempts: 0,
+        first_dispatch: now,
+        executed: 0,
+        checkpoint: None,
+        redispatches: 0,
+        resumed: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::TenantId;
+    use crate::worker::WorkerFaultEvent;
+    use matraptor_sparse::gen;
+    use std::rc::Rc;
+
+    fn spec(tenant: usize, seed: u64) -> JobSpec {
+        let a = Rc::new(gen::uniform(32, 32, 200, seed));
+        let b = Rc::new(gen::uniform(32, 32, 200, seed + 100));
+        JobSpec { tenant: TenantId(tenant), a, b, plan: None }
+    }
+
+    fn small_cfg() -> FleetConfig {
+        let mut cfg = FleetConfig::small_test();
+        // Small slices force multi-slice jobs, exercising the
+        // checkpoint/heartbeat path on every job.
+        cfg.slice_cycles = 256;
+        cfg.restart_cycles = 1_000;
+        cfg
+    }
+
+    fn submit_batch(fleet: &mut Fleet, n: usize) {
+        for i in 0..n {
+            fleet.submit(spec(i % 2, 1 + i as u64)).unwrap();
+        }
+    }
+
+    /// A content fingerprint over everything a campaign report would
+    /// serialize, for byte-identity assertions.
+    fn report_signature(fleet: &Fleet) -> u64 {
+        let mut bytes = Vec::new();
+        for r in fleet.records() {
+            bytes.extend_from_slice(&r.record.id.0.to_le_bytes());
+            bytes.extend_from_slice(&r.record.finished_at.0.to_le_bytes());
+            bytes.extend_from_slice(&(r.worker.0 as u64).to_le_bytes());
+            bytes.extend_from_slice(r.record.disposition.label().as_bytes());
+            bytes.extend_from_slice(&r.output_fingerprint.unwrap_or(0).to_le_bytes());
+            bytes.extend_from_slice(&u64::from(r.redispatches).to_le_bytes());
+        }
+        for e in fleet.recovery_log() {
+            bytes.extend_from_slice(&e.at.0.to_le_bytes());
+            bytes.extend_from_slice(&(e.worker.0 as u64).to_le_bytes());
+            bytes.extend_from_slice(e.kind.label().as_bytes());
+        }
+        fnv1a64(&bytes)
+    }
+
+    fn run_with_faults(events: Vec<WorkerFaultEvent>, jobs: usize, cfg: FleetConfig) -> Fleet {
+        let mut cfg = cfg;
+        cfg.worker_faults = Some(WorkerFaultPlan::new(events));
+        let mut fleet = Fleet::new(cfg).unwrap();
+        submit_batch(&mut fleet, jobs);
+        fleet.run_to_idle();
+        fleet
+    }
+
+    #[test]
+    fn clean_batch_completes_across_workers_byte_identically() {
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut fleet = Fleet::new(small_cfg()).unwrap();
+            submit_batch(&mut fleet, 12);
+            fleet.run_to_idle();
+            assert_eq!(fleet.records().len(), 12);
+            assert_eq!(fleet.pending(), 0);
+            assert!(fleet.records().iter().all(|r| r.record.disposition == Disposition::Completed));
+            let distinct: BTreeSet<usize> = fleet.records().iter().map(|r| r.worker.0).collect();
+            assert!(distinct.len() >= 2, "work must spread across workers: {distinct:?}");
+            assert_eq!(fleet.fleet_counters().duplicate_completions, 0);
+            runs.push((report_signature(&fleet), fleet.metrics().fingerprint()));
+        }
+        assert_eq!(runs[0], runs[1], "identical submissions must replay byte-identically");
+    }
+
+    #[test]
+    fn crash_mid_job_redispatches_and_everything_still_resolves() {
+        let events = vec![
+            WorkerFaultEvent { worker: 0, after_slices: 1, kind: WorkerFault::Crash },
+            WorkerFaultEvent { worker: 1, after_slices: 3, kind: WorkerFault::Crash },
+        ];
+        let fleet = run_with_faults(events, 8, small_cfg());
+        assert_eq!(fleet.records().len(), 8, "every admitted job must resolve");
+        assert_eq!(fleet.pending(), 0);
+        let f = fleet.fleet_counters();
+        assert_eq!(f.worker_crashes, 2);
+        assert!(f.redispatches >= 1, "a crashed worker's job must requeue");
+        assert!(
+            f.resumed_from_checkpoint + f.restarted_from_scratch >= 1,
+            "the requeued job must re-dispatch somewhere"
+        );
+        assert_eq!(f.duplicate_completions, 0);
+        let kinds: Vec<&str> = fleet.recovery_log().iter().map(|e| e.kind.label()).collect();
+        assert!(kinds.contains(&"crash_detected"), "log: {kinds:?}");
+        assert!(kinds.contains(&"restarted"), "log: {kinds:?}");
+    }
+
+    #[test]
+    fn hang_is_detected_by_the_heartbeat_window() {
+        let events = vec![WorkerFaultEvent { worker: 0, after_slices: 0, kind: WorkerFault::Hang }];
+        let fleet = run_with_faults(events, 6, small_cfg());
+        assert_eq!(fleet.records().len(), 6);
+        let f = fleet.fleet_counters();
+        assert_eq!(f.worker_hangs, 1);
+        assert_eq!(f.duplicate_completions, 0);
+        let hang = fleet
+            .recovery_log()
+            .iter()
+            .find(|e| e.kind == RecoveryKind::HangDetected)
+            .expect("hang must be logged");
+        assert!(
+            hang.at.0 > small_cfg().heartbeat_window,
+            "detection waits out the liveness window (at {})",
+            hang.at.0
+        );
+    }
+
+    #[test]
+    fn slow_worker_breaching_the_window_is_recycled() {
+        let mut cfg = small_cfg();
+        // Window barely above the slice: any slowdown factor breaches it.
+        cfg.heartbeat_window = cfg.slice_cycles;
+        let events = vec![WorkerFaultEvent {
+            worker: 0,
+            after_slices: 0,
+            kind: WorkerFault::SlowDown { factor: 50 },
+        }];
+        let fleet = run_with_faults(events, 6, cfg);
+        assert_eq!(fleet.records().len(), 6);
+        let f = fleet.fleet_counters();
+        assert_eq!(f.worker_slowdowns, 1);
+        assert!(f.slowness_detections >= 1, "the breach must be detected");
+        assert_eq!(f.duplicate_completions, 0);
+    }
+
+    #[test]
+    fn lost_ack_crash_is_suppressed_by_at_most_once_accounting() {
+        let events = vec![WorkerFaultEvent {
+            worker: 0,
+            after_slices: 0,
+            kind: WorkerFault::CrashAfterCompletion,
+        }];
+        let fleet = run_with_faults(events, 6, small_cfg());
+        let f = fleet.fleet_counters();
+        assert_eq!(fleet.records().len(), 6, "the completed result must be kept exactly once");
+        assert!(f.duplicates_suppressed >= 1, "the ghost re-dispatch must be suppressed");
+        assert_eq!(f.duplicate_completions, 0);
+        assert!(f.worker_crashes >= 1);
+        let ids: BTreeSet<u64> = fleet.records().iter().map(|r| r.record.id.0).collect();
+        assert_eq!(ids.len(), 6, "no job id may resolve twice");
+    }
+
+    #[test]
+    fn exhausted_ladder_retires_the_worker_and_sheds_to_cpu() {
+        let mut cfg = small_cfg();
+        cfg.accel_workers = 2;
+        cfg.max_restarts = 0;
+        cfg.max_degraded_restarts = 0;
+        let events =
+            vec![WorkerFaultEvent { worker: 0, after_slices: 0, kind: WorkerFault::Crash }];
+        let fleet = run_with_faults(events, 8, cfg);
+        assert_eq!(fleet.records().len(), 8);
+        let f = fleet.fleet_counters();
+        assert_eq!(f.worker_retirements, 1);
+        assert_eq!(fleet.workers()[0].status(), WorkerStatus::Retired);
+        assert!(
+            fleet.counters().completed_cpu >= 1,
+            "a retired worker's share must shed to the CPU tier"
+        );
+        assert_eq!(f.duplicate_completions, 0);
+    }
+
+    #[test]
+    fn degradation_halves_lanes_and_degraded_resume_restarts_from_scratch() {
+        let mut cfg = small_cfg();
+        cfg.accel_workers = 1;
+        cfg.max_restarts = 0;
+        cfg.max_degraded_restarts = 2;
+        let events =
+            vec![WorkerFaultEvent { worker: 0, after_slices: 2, kind: WorkerFault::Crash }];
+        let full_lanes = cfg.service.accel.num_lanes;
+        let fleet = run_with_faults(events, 4, cfg);
+        assert_eq!(fleet.records().len(), 4);
+        let f = fleet.fleet_counters();
+        assert_eq!(f.worker_degradations, 1);
+        assert_eq!(fleet.workers()[0].lanes(), (full_lanes / 2).max(1));
+        // The in-flight job's full-width checkpoint no longer fits the
+        // degraded worker: it must restart from scratch, not resume.
+        assert!(f.restarted_from_scratch >= 1, "counters: {f:?}");
+        assert_eq!(f.resumed_from_checkpoint, 0);
+        assert_eq!(f.duplicate_completions, 0);
+        assert!(fleet
+            .recovery_log()
+            .iter()
+            .any(|e| matches!(e.kind, RecoveryKind::Degraded { .. })));
+    }
+
+    #[test]
+    fn faulty_fleet_campaigns_replay_byte_identically() {
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut cfg = small_cfg();
+            cfg.worker_faults = Some(WorkerFaultPlan::sample(0xFEED, 5, 6));
+            let mut fleet = Fleet::new(cfg).unwrap();
+            submit_batch(&mut fleet, 16);
+            fleet.run_to_idle();
+            assert_eq!(fleet.records().len(), 16);
+            assert_eq!(fleet.fleet_counters().duplicate_completions, 0);
+            runs.push((report_signature(&fleet), fleet.metrics().fingerprint()));
+        }
+        assert_eq!(runs[0], runs[1], "seeded worker faults must replay byte-identically");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_fleet_bookkeeping() {
+        let mut fleet = Fleet::new(small_cfg()).unwrap();
+        submit_batch(&mut fleet, 6);
+        fleet.run_to_idle();
+        let snap = fleet.snapshot();
+        assert_eq!(snap.resolved.len(), 6);
+        let mut other = Fleet::new(small_cfg()).unwrap();
+        assert!(other.restore(&snap));
+        assert_eq!(other.snapshot(), snap, "restore must reproduce the snapshot exactly");
+        assert_eq!(other.now(), fleet.now());
+        // Restored at-most-once memory: a ghost re-dispatch of a resolved
+        // id is still suppressed after restart.
+        let mut tiny = FleetConfig::small_test();
+        tiny.accel_workers = 1;
+        let mut mismatched = Fleet::new(tiny).unwrap();
+        assert!(!mismatched.restore(&snap), "topology mismatch must be refused");
+    }
+
+    #[test]
+    fn fingerprints_separate_different_products() {
+        let a = gen::uniform(16, 16, 60, 7);
+        let b = gen::uniform(16, 16, 60, 8);
+        let c1 = spgemm::gustavson(&a, &b);
+        let c2 = spgemm::gustavson(&b, &a);
+        assert_eq!(fingerprint_output(&c1), fingerprint_output(&c1));
+        assert_ne!(fingerprint_output(&c1), fingerprint_output(&c2));
+    }
+
+    #[test]
+    fn metrics_expose_fleet_and_per_worker_counters() {
+        let events =
+            vec![WorkerFaultEvent { worker: 0, after_slices: 1, kind: WorkerFault::Crash }];
+        let fleet = run_with_faults(events, 6, small_cfg());
+        let m = fleet.metrics();
+        assert_eq!(m.counter("service.pending"), Some(0));
+        assert_eq!(m.counter("fleet.worker_crashes"), Some(1));
+        assert!(m.counter("fleet.recovery_events").unwrap() >= 2);
+        assert!(m.counter("worker.0.dispatches").unwrap() >= 1);
+        let busy: u64 =
+            (0..5).map(|i| m.counter(&format!("worker.{i}.busy_cycles")).unwrap()).sum();
+        assert!(busy > 0, "utilization must be attributed to workers");
+    }
+}

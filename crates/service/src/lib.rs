@@ -29,9 +29,19 @@
 //! makes "this input has failed twice, refuse it" a sound policy (contrast
 //! with the transient-fault model of the PR 3 recovery ladder).
 //!
-//! The `stress_campaign` bench binary drives this crate with thousands of
-//! mixed jobs and emits a machine-checkable SLO report (see
-//! EXPERIMENTS.md).
+//! On top of the single-machine [`Service`], the [`Fleet`] scales the same
+//! front end across N simulated accelerator workers plus M CPU-fallback
+//! workers with a full worker-failure lifecycle: a seeded
+//! [`WorkerFaultPlan`] injects crashes, hangs, and slowdowns; per-worker
+//! heartbeats (built on the sim watchdog) detect silent death; in-flight
+//! jobs re-dispatch from their last checkpoint with at-most-once
+//! completion accounting; and each worker walks an escalating recovery
+//! ladder (restart → reduced-lanes → retire, shedding to the CPU tier).
+//!
+//! The `stress_campaign` bench binary drives the single-machine service
+//! with thousands of mixed jobs; `fleet_campaign` drives a multi-worker
+//! fleet through scripted worker failures. Both emit machine-checkable
+//! SLO reports (see EXPERIMENTS.md).
 //!
 //! [`SimClock`]: matraptor_sim::SimClock
 //! [`launch_with_deadline`]: matraptor_core::Driver::launch_with_deadline
@@ -41,14 +51,24 @@
 #![warn(missing_debug_implementations)]
 
 mod breaker;
+mod fleet;
 mod job;
 mod quarantine;
 mod sched;
 mod service;
+mod worker;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
+pub use fleet::{
+    fingerprint_output, Fleet, FleetConfig, FleetCounters, FleetRecord, FleetState, RecoveryEvent,
+    RecoveryKind,
+};
 pub use job::{estimate_flops, Disposition, JobId, JobRecord, JobSpec, Rejected, TenantId};
 pub use quarantine::Quarantine;
 pub use service::{
     DeadlinePolicy, Service, ServiceConfig, ServiceCounters, ServiceError, TenantConfig,
+};
+pub use worker::{
+    Worker, WorkerClass, WorkerFault, WorkerFaultEvent, WorkerFaultPlan, WorkerId, WorkerState,
+    WorkerStats, WorkerStatus,
 };

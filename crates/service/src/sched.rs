@@ -287,4 +287,19 @@ mod tests {
         let mut s = DrrScheduler::new(10, &[(1, 1)]);
         assert!(s.pop().is_none());
     }
+
+    #[test]
+    fn saturated_deadline_costs_are_served_without_overflow() {
+        // A job whose deadline saturated to u64::MAX must still be served:
+        // bulk_grant's rounds arithmetic and the deficit accumulation both
+        // saturate instead of overflowing or spinning.
+        let mut s = DrrScheduler::new(100, &[(1, 8), (3, 8)]);
+        s.try_enqueue(job(0, 0, u64::MAX)).unwrap();
+        s.try_enqueue(job(1, 1, 10)).unwrap();
+        let first = s.pop().expect("cheap job first");
+        assert_eq!(first.id, JobId(1));
+        let second = s.pop().expect("the saturated job must still come out");
+        assert_eq!(second.id, JobId(0));
+        assert!(s.pop().is_none());
+    }
 }

@@ -292,45 +292,15 @@ impl Service {
     /// Submit a job. Admission is synchronous and total: the result is
     /// either a [`JobId`] (the job is queued) or an explicit [`Rejected`].
     pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, Rejected> {
-        self.counters.submitted += 1;
-        let t = spec.tenant.0;
-        let Some(tenant) = self.cfg.tenants.get(t) else {
-            self.counters.rejected_invalid += 1;
-            return Err(Rejected::UnknownTenant { tenant: spec.tenant });
-        };
-        let fingerprint = fingerprint_inputs(&spec.a, &spec.b);
-        if self.quarantine.is_quarantined(fingerprint) {
-            self.counters.rejected_quarantined += 1;
-            return Err(Rejected::Quarantined { fingerprint });
-        }
-        let Some(flops) = estimate_flops(&spec.a, &spec.b) else {
-            self.counters.rejected_invalid += 1;
-            return Err(Rejected::InvalidShape { a_cols: spec.a.cols(), b_rows: spec.b.rows() });
-        };
-        let deadline_cycles = tenant.deadline.deadline_for(flops);
-        let id = JobId(self.next_id);
-        let pending = Pending {
-            id,
-            tenant: spec.tenant,
-            a: spec.a,
-            b: spec.b,
-            plan: spec.plan,
-            fingerprint,
-            estimated_flops: flops,
-            deadline_cycles,
-            submitted_at: self.clock.now(),
-        };
-        match self.sched.try_enqueue(pending) {
-            Ok(()) => {
-                self.next_id += 1;
-                self.counters.accepted += 1;
-                Ok(id)
-            }
-            Err(_) => {
-                self.counters.rejected_queue_full += 1;
-                Err(Rejected::QueueFull { tenant: TenantId(t), capacity: tenant.queue_capacity })
-            }
-        }
+        admit(
+            &self.cfg.tenants,
+            &self.quarantine,
+            &mut self.sched,
+            &mut self.counters,
+            &mut self.next_id,
+            self.clock.now(),
+            spec,
+        )
     }
 
     /// Resolve the next scheduled job (dispatch, run to completion,
@@ -452,11 +422,67 @@ impl Service {
     }
 }
 
+/// The shared admission front end: quarantine refusal, flop estimation,
+/// deadline derivation, and DRR enqueue, with every counter bump in one
+/// place. Both [`Service::submit`] and the fleet's submit path call this,
+/// so a single-worker service and an N-worker fleet admit byte-identically
+/// — the precondition for comparing their campaign reports.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn admit(
+    tenants: &[TenantConfig],
+    quarantine: &Quarantine,
+    sched: &mut DrrScheduler,
+    counters: &mut ServiceCounters,
+    next_id: &mut u64,
+    now: Cycle,
+    spec: JobSpec,
+) -> Result<JobId, Rejected> {
+    counters.submitted += 1;
+    let t = spec.tenant.0;
+    let Some(tenant) = tenants.get(t) else {
+        counters.rejected_invalid += 1;
+        return Err(Rejected::UnknownTenant { tenant: spec.tenant });
+    };
+    let fingerprint = fingerprint_inputs(&spec.a, &spec.b);
+    if quarantine.is_quarantined(fingerprint) {
+        counters.rejected_quarantined += 1;
+        return Err(Rejected::Quarantined { fingerprint });
+    }
+    let Some(flops) = estimate_flops(&spec.a, &spec.b) else {
+        counters.rejected_invalid += 1;
+        return Err(Rejected::InvalidShape { a_cols: spec.a.cols(), b_rows: spec.b.rows() });
+    };
+    let deadline_cycles = tenant.deadline.deadline_for(flops);
+    let id = JobId(*next_id);
+    let pending = Pending {
+        id,
+        tenant: spec.tenant,
+        a: spec.a,
+        b: spec.b,
+        plan: spec.plan,
+        fingerprint,
+        estimated_flops: flops,
+        deadline_cycles,
+        submitted_at: now,
+    };
+    match sched.try_enqueue(pending) {
+        Ok(()) => {
+            *next_id += 1;
+            counters.accepted += 1;
+            Ok(id)
+        }
+        Err(_) => {
+            counters.rejected_queue_full += 1;
+            Err(Rejected::QueueFull { tenant: TenantId(t), capacity: tenant.queue_capacity })
+        }
+    }
+}
+
 /// Cycles a failed attempt occupied the machine for. Deadlocks report the
 /// cycle the watchdog fired; budget blowouts report the cycles executed;
 /// everything else is charged the job's deadline — a pessimistic but
 /// deterministic bound (detection happened somewhere inside the run).
-fn fault_cycle_charge(e: &SimError, deadline_cycles: u64) -> u64 {
+pub(crate) fn fault_cycle_charge(e: &SimError, deadline_cycles: u64) -> u64 {
     match e {
         SimError::Deadlock(d) => d.declared_at.max(1),
         SimError::CycleBudgetExceeded { cycles, .. } => (*cycles).max(1),
@@ -667,5 +693,32 @@ mod tests {
             c.submitted,
             c.accepted + c.rejected_queue_full + c.rejected_quarantined + c.rejected_invalid
         );
+    }
+
+    #[test]
+    fn deadline_policy_saturates_instead_of_overflowing() {
+        let p = DeadlinePolicy { base_cycles: u64::MAX, cycles_per_flop: u64::MAX };
+        assert_eq!(p.deadline_for(u64::MAX), u64::MAX);
+        assert_eq!(p.deadline_for(0), u64::MAX);
+        let q = DeadlinePolicy { base_cycles: 10, cycles_per_flop: u64::MAX };
+        assert_eq!(q.deadline_for(2), u64::MAX, "flops x cpf must saturate, not wrap");
+        let zero = DeadlinePolicy { base_cycles: 0, cycles_per_flop: 0 };
+        assert_eq!(zero.deadline_for(0), 1, "deadlines are clamped to >= 1");
+    }
+
+    #[test]
+    fn huge_cycle_per_flop_jobs_flow_through_admission_and_complete() {
+        // A tenant whose deadline policy saturates every job to u64::MAX:
+        // admission, the DRR cost accounting, and the deadline-bounded
+        // launch must all take the saturated value in stride.
+        let mut cfg = ServiceConfig::small_test();
+        cfg.tenants[0].deadline =
+            DeadlinePolicy { base_cycles: u64::MAX, cycles_per_flop: u64::MAX };
+        let mut s = Service::new(cfg).unwrap();
+        s.submit(spec(0, 5, None)).unwrap();
+        let record = s.step().expect("job must be served").clone();
+        assert_eq!(record.deadline_cycles, u64::MAX);
+        assert_eq!(record.disposition, Disposition::Completed);
+        assert_eq!(s.pending(), 0);
     }
 }

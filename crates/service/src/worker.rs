@@ -1,0 +1,595 @@
+//! Simulated fleet workers and the worker-level fault model.
+//!
+//! A [`Worker`] is one execution unit of the fleet: either a full
+//! accelerator instance (its own lanes and HBM, modeled by
+//! [`Accelerator`]) or a degraded CPU-fallback slot (the SparseZipper-style
+//! host tier — orders of magnitude slower, assumed reliable). Workers run
+//! jobs in bounded *slices* ([`Driver::launch_slice`]), heartbeating into
+//! a per-worker [`Watchdog`] at every slice boundary; a worker that stops
+//! producing slice events is detected by the fleet's liveness poll when
+//! its heartbeat goes silent for longer than the configured window.
+//!
+//! Worker failures are injected by a [`WorkerFaultPlan`] — seeded or
+//! scripted [`WorkerFaultEvent`]s keyed by `(worker, slice count)`, so a
+//! fleet campaign replays bit-identically. This is a *different layer*
+//! than the job-level [`FaultPlan`](matraptor_core::FaultPlan): a job
+//! fault poisons one run; a worker fault takes down the machine under
+//! whatever job it happens to be running.
+//!
+//! [`Driver::launch_slice`]: matraptor_core::Driver::launch_slice
+
+use matraptor_core::{Accelerator, Checkpoint, MatRaptorConfig, RunOutcome};
+use matraptor_sim::watchdog::mix_signature;
+use matraptor_sim::{Cycle, SourceId, Watchdog};
+use matraptor_sparse::rng::ChaCha8Rng;
+
+use crate::sched::Pending;
+
+/// Stable fleet-assigned worker identifier (index into the worker table;
+/// accelerator workers first, then CPU-fallback workers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WorkerId(pub usize);
+
+/// What kind of execution unit a worker is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerClass {
+    /// A full simulated accelerator instance.
+    Accelerator,
+    /// A host-CPU fallback slot: reliable, but pays
+    /// `cpu_cycles_per_flop` per estimated multiply.
+    CpuFallback,
+}
+
+impl WorkerClass {
+    /// Stable lowercase label used in JSON reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkerClass::Accelerator => "accel",
+            WorkerClass::CpuFallback => "cpu",
+        }
+    }
+}
+
+/// A worker's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerStatus {
+    /// Healthy and ready for dispatch.
+    Idle,
+    /// Executing a slice (a completion event is scheduled).
+    Busy,
+    /// Stopped making progress; produces no events until the fleet's
+    /// heartbeat deadline detects it.
+    Hung,
+    /// Recovering; becomes idle at the embedded cycle.
+    Restarting {
+        /// When the restart completes.
+        until: Cycle,
+    },
+    /// Permanently removed from dispatch; its share sheds to the CPU tier.
+    Retired,
+}
+
+impl WorkerStatus {
+    /// Stable lowercase label used in JSON reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkerStatus::Idle => "idle",
+            WorkerStatus::Busy => "busy",
+            WorkerStatus::Hung => "hung",
+            WorkerStatus::Restarting { .. } => "restarting",
+            WorkerStatus::Retired => "retired",
+        }
+    }
+}
+
+/// A worker failure a [`WorkerFaultPlan`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// The worker dies instantly: its in-flight slice is lost (the job
+    /// keeps only its last checkpoint) and the fleet detects the death
+    /// immediately — process exit is loud.
+    Crash,
+    /// The worker wedges silently: no more slice events, no heartbeats.
+    /// Detection waits for the fleet's liveness window to expire.
+    Hang,
+    /// The worker keeps running but every slice costs `factor`× the
+    /// simulated time. Extreme factors breach the heartbeat window and are
+    /// treated as failures; mild ones just drag utilization.
+    SlowDown {
+        /// Wall-time multiplier on subsequent slices (clamped to ≥ 2).
+        factor: u64,
+    },
+    /// The worker crashes *at the instant its current job completes* —
+    /// after the result is recorded but before recovery bookkeeping sees
+    /// the acknowledgement. The classic lost-ack race: naive recovery
+    /// would re-dispatch (and double-count) the finished job, which the
+    /// fleet's at-most-once accounting must suppress.
+    CrashAfterCompletion,
+}
+
+impl WorkerFault {
+    /// Stable lowercase label used in JSON reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkerFault::Crash => "crash",
+            WorkerFault::Hang => "hang",
+            WorkerFault::SlowDown { .. } => "slowdown",
+            WorkerFault::CrashAfterCompletion => "crash_after_completion",
+        }
+    }
+}
+
+/// One scheduled worker failure: fires the first time worker `worker`
+/// reaches `after_slices` executed slices (checked at each slice
+/// boundary, so triggers are deterministic in the slice count, not in
+/// wall cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerFaultEvent {
+    /// Target worker id.
+    pub worker: usize,
+    /// Slice-counter trigger threshold.
+    pub after_slices: u64,
+    /// What happens.
+    pub kind: WorkerFault,
+}
+
+/// A deterministic schedule of worker failures for one fleet run.
+///
+/// Events are consumed at most once, in declaration order; at most one
+/// event fires per slice boundary per worker (the rest wait for the next
+/// boundary), so two plans with the same events always replay the same
+/// failure history.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerFaultPlan {
+    events: Vec<WorkerFaultEvent>,
+    consumed: Vec<bool>,
+}
+
+impl WorkerFaultPlan {
+    /// A plan firing exactly the given events.
+    pub fn new(events: Vec<WorkerFaultEvent>) -> Self {
+        let consumed = vec![false; events.len()];
+        WorkerFaultPlan { events, consumed }
+    }
+
+    /// A seeded random plan: `count` events spread over `workers` workers,
+    /// with trigger thresholds in `1..=40` slices and kinds weighted
+    /// toward crashes (the common failure). Same seed → same plan.
+    pub fn sample(seed: u64, workers: usize, count: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let worker = rng.gen_range(0..workers.max(1));
+            let after_slices = rng.gen_range(1u64..41);
+            let kind = match rng.gen_range(0u32..10) {
+                0..=3 => WorkerFault::Crash,
+                4..=6 => WorkerFault::Hang,
+                7..=8 => WorkerFault::SlowDown { factor: rng.gen_range(2u64..9) },
+                _ => WorkerFault::CrashAfterCompletion,
+            };
+            events.push(WorkerFaultEvent { worker, after_slices, kind });
+        }
+        WorkerFaultPlan::new(events)
+    }
+
+    /// Scheduled events (fired or not).
+    pub fn events(&self) -> &[WorkerFaultEvent] {
+        &self.events
+    }
+
+    /// Events that have not fired yet.
+    pub fn remaining(&self) -> usize {
+        self.consumed.iter().filter(|c| !**c).count()
+    }
+
+    /// Consume and return the first unfired event due for `worker` at
+    /// `slices` executed slices, if any.
+    pub(crate) fn fire(&mut self, worker: usize, slices: u64) -> Option<WorkerFault> {
+        for (i, ev) in self.events.iter().enumerate() {
+            if !self.consumed[i] && ev.worker == worker && ev.after_slices <= slices {
+                self.consumed[i] = true;
+                return Some(ev.kind);
+            }
+        }
+        None
+    }
+}
+
+/// An in-flight job on (or recovered from) a worker: the admitted job plus
+/// everything needed to resume it elsewhere after a worker failure.
+#[derive(Debug, Clone)]
+pub(crate) struct Assignment {
+    /// The admitted job (operands, plan, deadline).
+    pub job: Pending,
+    /// Accelerator attempts consumed (job-level fault retries).
+    pub attempts: u32,
+    /// Fleet cycle of the *first* dispatch — queue-wait anchors here even
+    /// across re-dispatches.
+    pub first_dispatch: Cycle,
+    /// Accelerator cycles already executed (the checkpoint's cycle).
+    pub executed: u64,
+    /// Last slice-boundary checkpoint, if any.
+    pub checkpoint: Option<Box<Checkpoint>>,
+    /// Worker failures this job has survived.
+    pub redispatches: u32,
+    /// Whether any dispatch resumed from a checkpoint.
+    pub resumed: bool,
+}
+
+/// What a scheduled worker event resolves to when it fires. Computed
+/// eagerly when the slice starts (the simulation is deterministic, so the
+/// outcome is known), applied when simulated time reaches the event.
+#[derive(Debug)]
+pub(crate) enum SliceOutcome {
+    /// The job drained inside this slice.
+    Completed(Box<RunOutcome>),
+    /// The slice ended at its boundary; the job continues.
+    Paused(Box<Checkpoint>),
+    /// The job hit its cycle deadline at this slice boundary.
+    Cancelled,
+    /// The accelerator faulted inside this slice.
+    Faulted,
+    /// Preflight refused the job (structurally bad operands that slipped
+    /// past shape-only admission); deterministic, so never retried.
+    Refused,
+    /// A CPU-fallback worker finished the job; the payload is the output
+    /// fingerprint.
+    CpuCompleted(u64),
+}
+
+/// A scheduled worker event: at `at`, apply `outcome`. `began` anchors the
+/// busy-cycle attribution for utilization accounting.
+#[derive(Debug)]
+pub(crate) struct ScheduledEvent {
+    pub at: Cycle,
+    pub began: Cycle,
+    pub outcome: SliceOutcome,
+}
+
+/// Monotone per-worker counters for utilization and recovery reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs dispatched to this worker (including re-dispatches).
+    pub dispatches: u64,
+    /// Jobs this worker resolved (any disposition).
+    pub completed: u64,
+    /// Fleet cycles this worker spent executing (busy, not idle/restarting).
+    pub busy_cycles: u64,
+}
+
+/// The serializable bookkeeping state of one [`Worker`] — what
+/// [`Worker::snapshot`] captures and [`Worker::restore`] rebuilds. The
+/// in-flight payload is deliberately absent: a job in flight is recovered
+/// through its *own* checkpoint via the fleet's re-dispatch queue, never
+/// through worker state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerState {
+    /// Worker id.
+    pub id: usize,
+    /// Execution-unit class.
+    pub class: WorkerClass,
+    /// Current lane count (halved by each degradation rung).
+    pub lanes: usize,
+    /// Lifecycle state.
+    pub status: WorkerStatus,
+    /// Fleet cycle of the last heartbeat.
+    pub last_beat: Cycle,
+    /// The watchdog's recorded last-progress cycle.
+    pub heartbeat_at: Cycle,
+    /// Current slice-cost multiplier (1 = nominal).
+    pub slow_factor: u64,
+    /// Slices executed over the worker's lifetime.
+    pub slices_executed: u64,
+    /// Heartbeats emitted over the worker's lifetime (drives the monotone
+    /// progress signature).
+    pub beats: u64,
+    /// Recovery-ladder position: failures survived so far.
+    pub restarts: u32,
+    /// Whether a lost-ack crash is armed for the next completion.
+    pub crash_after_complete: bool,
+    /// Utilization counters.
+    pub stats: WorkerStats,
+}
+
+/// Name registered for each worker's single heartbeat watchdog source.
+const HEARTBEAT_SOURCE: &str = "heartbeat";
+
+/// The heartbeat progress signature: strictly monotone in the beat count,
+/// so every beat registers as progress, and mixed with the worker id so
+/// two workers' signatures never collide by construction.
+fn heartbeat_signature(id: usize, beats: u64) -> u64 {
+    mix_signature(mix_signature(0x6d61_7472_6170_746f, id as u64), beats)
+}
+
+/// One fleet execution unit. The fleet owns the event loop; the worker
+/// owns its machine, its heartbeat watchdog, and its recovery-ladder
+/// position.
+#[derive(Debug)]
+pub struct Worker {
+    pub(crate) id: usize,
+    pub(crate) class: WorkerClass,
+    // conformance:allow(checkpoint-coverage): immutable template config, shared by construction
+    pub(crate) base_cfg: MatRaptorConfig,
+    // conformance:allow(checkpoint-coverage): rebuilt from base_cfg + lanes on restore
+    pub(crate) accel: Option<Accelerator>,
+    pub(crate) lanes: usize,
+    pub(crate) status: WorkerStatus,
+    // conformance:allow(checkpoint-coverage): in-flight payload rides its own job checkpoint via the re-dispatch queue
+    pub(crate) assignment: Option<Assignment>,
+    // conformance:allow(checkpoint-coverage): derived event, recomputed when the job is re-dispatched
+    pub(crate) pending: Option<ScheduledEvent>,
+    pub(crate) watchdog: Watchdog,
+    // conformance:allow(checkpoint-coverage): re-registered when the watchdog is rebuilt
+    pub(crate) heartbeat_source: SourceId,
+    // conformance:allow(checkpoint-coverage): fleet-level constant, reapplied by the constructor
+    pub(crate) heartbeat_window: u64,
+    pub(crate) last_beat: Cycle,
+    pub(crate) slow_factor: u64,
+    pub(crate) slices_executed: u64,
+    pub(crate) beats: u64,
+    pub(crate) restarts: u32,
+    pub(crate) crash_after_complete: bool,
+    pub(crate) stats: WorkerStats,
+}
+
+impl Worker {
+    /// Builds a worker. Accelerator workers get their own machine from the
+    /// template config; CPU workers carry none.
+    pub(crate) fn new(
+        id: usize,
+        class: WorkerClass,
+        base_cfg: MatRaptorConfig,
+        heartbeat_window: u64,
+    ) -> Result<Self, matraptor_core::ConfigError> {
+        let accel = match class {
+            WorkerClass::Accelerator => Some(Accelerator::try_new(base_cfg.clone())?),
+            WorkerClass::CpuFallback => None,
+        };
+        let lanes = base_cfg.num_lanes;
+        let mut watchdog = Watchdog::new(heartbeat_window.max(1));
+        let heartbeat_source = watchdog.add_source(HEARTBEAT_SOURCE);
+        watchdog.observe(heartbeat_source, Cycle::ZERO, heartbeat_signature(id, 0));
+        Ok(Worker {
+            id,
+            class,
+            base_cfg,
+            accel,
+            lanes,
+            status: WorkerStatus::Idle,
+            assignment: None,
+            pending: None,
+            watchdog,
+            heartbeat_source,
+            heartbeat_window: heartbeat_window.max(1),
+            last_beat: Cycle::ZERO,
+            slow_factor: 1,
+            slices_executed: 0,
+            beats: 0,
+            restarts: 0,
+            crash_after_complete: false,
+            stats: WorkerStats::default(),
+        })
+    }
+
+    /// This worker's id.
+    pub fn id(&self) -> WorkerId {
+        WorkerId(self.id)
+    }
+
+    /// This worker's class.
+    pub fn class(&self) -> WorkerClass {
+        self.class
+    }
+
+    /// Current lifecycle state.
+    pub fn status(&self) -> WorkerStatus {
+        self.status
+    }
+
+    /// Current lane count (less than the configured count once degraded).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Worker failures survived so far (recovery-ladder position).
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// Utilization counters.
+    pub fn stats(&self) -> &WorkerStats {
+        &self.stats
+    }
+
+    /// Record a heartbeat at `now`: the worker proved liveness at a slice
+    /// boundary.
+    pub(crate) fn beat(&mut self, now: Cycle) {
+        self.last_beat = now;
+        self.beats = self.beats.saturating_add(1);
+        self.watchdog.observe(self.heartbeat_source, now, heartbeat_signature(self.id, self.beats));
+    }
+
+    /// The fleet cycle at which this worker's silence becomes a liveness
+    /// violation (the heartbeat deadline of a hung worker).
+    pub(crate) fn heartbeat_deadline(&self) -> Cycle {
+        Cycle(self.last_beat.0.saturating_add(self.heartbeat_window).saturating_add(1))
+    }
+
+    /// Whether the watchdog confirms the heartbeat silence at `now`.
+    pub(crate) fn heartbeat_expired(&self, now: Cycle) -> bool {
+        self.watchdog.check(now).is_some()
+    }
+
+    /// Whether this worker can accept a dispatch right now.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.status == WorkerStatus::Idle
+    }
+
+    /// Whether the worker still participates in dispatch at all.
+    pub(crate) fn is_live(&self) -> bool {
+        self.status != WorkerStatus::Retired
+    }
+
+    /// Rebuild the accelerator after a restart, honouring the (possibly
+    /// degraded) lane count. `false` if the degraded shape is invalid —
+    /// the caller retires the worker instead of panicking.
+    pub(crate) fn rebuild_accel(&mut self) -> bool {
+        if self.class != WorkerClass::Accelerator {
+            return true;
+        }
+        let mut cfg = self.base_cfg.clone();
+        cfg.num_lanes = self.lanes;
+        cfg.mem.num_channels = self.lanes;
+        match Accelerator::try_new(cfg) {
+            Ok(accel) => {
+                self.accel = Some(accel);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether this worker's machine still matches the template config a
+    /// checkpoint was taken under (degraded workers cannot resume foreign
+    /// checkpoints — the fleet restarts those jobs from scratch).
+    pub(crate) fn matches_template(&self) -> bool {
+        self.lanes == self.base_cfg.num_lanes
+    }
+
+    /// Captures the worker's bookkeeping state.
+    pub fn snapshot(&self) -> WorkerState {
+        WorkerState {
+            id: self.id,
+            class: self.class,
+            lanes: self.lanes,
+            status: self.status,
+            last_beat: self.last_beat,
+            heartbeat_at: self.watchdog.last_progress(),
+            slow_factor: self.slow_factor,
+            slices_executed: self.slices_executed,
+            beats: self.beats,
+            restarts: self.restarts,
+            crash_after_complete: self.crash_after_complete,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds the worker from a snapshot: plain fields are restored, the
+    /// watchdog is reconstructed from the recorded heartbeat, the machine
+    /// is rebuilt from the template config at the snapshot's lane count,
+    /// and any in-flight assignment is dropped (in-flight work is
+    /// recovered through the fleet's re-dispatch queue, not worker state).
+    pub fn restore(&mut self, s: &WorkerState) {
+        self.id = s.id;
+        self.class = s.class;
+        self.lanes = s.lanes;
+        self.status = s.status;
+        self.last_beat = s.last_beat;
+        self.slow_factor = s.slow_factor;
+        self.slices_executed = s.slices_executed;
+        self.beats = s.beats;
+        self.restarts = s.restarts;
+        self.crash_after_complete = s.crash_after_complete;
+        self.stats = s.stats;
+        self.watchdog = Watchdog::new(self.heartbeat_window);
+        self.heartbeat_source = self.watchdog.add_source(HEARTBEAT_SOURCE);
+        self.watchdog.observe(
+            self.heartbeat_source,
+            s.heartbeat_at,
+            heartbeat_signature(s.id, s.beats),
+        );
+        self.assignment = None;
+        self.pending = None;
+        if !self.rebuild_accel() {
+            self.status = WorkerStatus::Retired;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_worker(id: usize, class: WorkerClass) -> Worker {
+        Worker::new(id, class, MatRaptorConfig::small_test(), 10_000).unwrap()
+    }
+
+    #[test]
+    fn fault_plan_fires_each_event_once_in_order() {
+        let mut plan = WorkerFaultPlan::new(vec![
+            WorkerFaultEvent { worker: 0, after_slices: 2, kind: WorkerFault::Crash },
+            WorkerFaultEvent { worker: 0, after_slices: 2, kind: WorkerFault::Hang },
+            WorkerFaultEvent { worker: 1, after_slices: 5, kind: WorkerFault::Hang },
+        ]);
+        assert_eq!(plan.remaining(), 3);
+        assert_eq!(plan.fire(0, 1), None, "not due yet");
+        assert_eq!(plan.fire(0, 2), Some(WorkerFault::Crash), "first due event fires first");
+        assert_eq!(plan.fire(0, 2), Some(WorkerFault::Hang), "one event per call");
+        assert_eq!(plan.fire(0, 99), None, "worker 0 exhausted");
+        assert_eq!(plan.fire(1, 4), None);
+        assert_eq!(plan.fire(1, 5), Some(WorkerFault::Hang));
+        assert_eq!(plan.remaining(), 0);
+    }
+
+    #[test]
+    fn sampled_plans_are_deterministic_in_the_seed() {
+        let a = WorkerFaultPlan::sample(42, 4, 10);
+        let b = WorkerFaultPlan::sample(42, 4, 10);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 10);
+        let c = WorkerFaultPlan::sample(43, 4, 10);
+        assert_ne!(a.events(), c.events(), "different seeds should differ");
+        for ev in a.events() {
+            assert!(ev.worker < 4);
+            assert!((1..=40).contains(&ev.after_slices));
+        }
+    }
+
+    #[test]
+    fn heartbeats_keep_the_watchdog_quiet_and_silence_trips_it() {
+        let mut w = test_worker(0, WorkerClass::Accelerator);
+        w.beat(Cycle(100));
+        assert!(!w.heartbeat_expired(Cycle(100 + 10_000)), "inside the window");
+        assert!(w.heartbeat_expired(Cycle(100 + 10_001)), "past the window");
+        assert_eq!(w.heartbeat_deadline(), Cycle(10_101));
+        // Another beat pushes the deadline out.
+        w.beat(Cycle(5_000));
+        assert!(!w.heartbeat_expired(Cycle(15_000)));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_bookkeeping() {
+        let mut w = test_worker(3, WorkerClass::Accelerator);
+        w.slices_executed = 17;
+        w.restarts = 2;
+        w.slow_factor = 4;
+        w.stats = WorkerStats { dispatches: 9, completed: 7, busy_cycles: 123_456 };
+        w.beat(Cycle(42_000));
+        let snap = w.snapshot();
+        let mut fresh = test_worker(3, WorkerClass::Accelerator);
+        fresh.restore(&snap);
+        assert_eq!(fresh.snapshot(), snap, "restore must reproduce the snapshot exactly");
+        assert_eq!(fresh.slices_executed, 17);
+        assert_eq!(fresh.stats.busy_cycles, 123_456);
+        // The rebuilt watchdog carries the recorded heartbeat.
+        assert!(!fresh.heartbeat_expired(Cycle(42_000 + 10_000)));
+        assert!(fresh.heartbeat_expired(Cycle(42_000 + 10_001)));
+    }
+
+    #[test]
+    fn degraded_rebuild_halves_lanes_and_rejects_invalid_shapes() {
+        let mut w = test_worker(0, WorkerClass::Accelerator);
+        assert!(w.matches_template());
+        w.lanes = (w.lanes / 2).max(1);
+        assert!(w.rebuild_accel(), "halved config must still validate");
+        assert!(!w.matches_template());
+        assert_eq!(w.accel.as_ref().map(|a| a.config().num_lanes), Some(w.lanes));
+    }
+
+    #[test]
+    fn cpu_workers_carry_no_machine() {
+        let w = test_worker(5, WorkerClass::CpuFallback);
+        assert!(w.accel.is_none());
+        assert_eq!(w.class().label(), "cpu");
+    }
+}
