@@ -357,6 +357,9 @@ fn run_campaign(opts: &Options) -> CampaignResult {
             Disposition::CompletedOnCpu => t.on_cpu += 1,
             Disposition::DeadlineExceeded => t.deadline_exceeded += 1,
             Disposition::Failed => t.failed += 1,
+            // The stress campaign never cancels or drains; these arms are
+            // unreachable here but keep the match total.
+            Disposition::Cancelled | Disposition::CheckpointedAtDrain => {}
         }
     }
     let tenant_names = ["batch", "interactive", "analytics", "free"];

@@ -7,6 +7,13 @@
 //! top-level value. It builds no tree and allocates nothing — validation
 //! only.
 
+/// Maximum container nesting the validator will recurse into. The walk
+/// is recursive-descent, so without a bound a hostile input of a few
+/// hundred kilobytes of `[` would overflow the thread stack; RFC 8259
+/// explicitly allows implementations to set such a limit. 512 is far
+/// deeper than any report this workspace emits.
+pub const MAX_NESTING_DEPTH: usize = 512;
+
 /// Returns `Ok(())` when `s` is exactly one well-formed JSON value
 /// (surrounded by optional whitespace), or a byte offset + message
 /// describing the first violation.
@@ -14,7 +21,7 @@ pub fn validate(s: &str) -> Result<(), (usize, &'static str)> {
     let b = s.as_bytes();
     let mut pos = 0usize;
     skip_ws(b, &mut pos);
-    value(b, &mut pos)?;
+    value(b, &mut pos, 0)?;
     skip_ws(b, &mut pos);
     if pos != b.len() {
         return Err((pos, "trailing bytes after the top-level value"));
@@ -28,10 +35,10 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn value(b: &[u8], pos: &mut usize) -> Result<(), (usize, &'static str)> {
+fn value(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), (usize, &'static str)> {
     match b.get(*pos) {
-        Some(b'{') => object(b, pos),
-        Some(b'[') => array(b, pos),
+        Some(b'{') => object(b, pos, depth),
+        Some(b'[') => array(b, pos, depth),
         Some(b'"') => string(b, pos),
         Some(b't') => literal(b, pos, b"true"),
         Some(b'f') => literal(b, pos, b"false"),
@@ -51,7 +58,10 @@ fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), (usize, &'static
     }
 }
 
-fn object(b: &[u8], pos: &mut usize) -> Result<(), (usize, &'static str)> {
+fn object(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), (usize, &'static str)> {
+    if depth >= MAX_NESTING_DEPTH {
+        return Err((*pos, "nesting deeper than MAX_NESTING_DEPTH"));
+    }
     *pos += 1; // consume '{'
     skip_ws(b, pos);
     if b.get(*pos) == Some(&b'}') {
@@ -70,7 +80,7 @@ fn object(b: &[u8], pos: &mut usize) -> Result<(), (usize, &'static str)> {
         }
         *pos += 1;
         skip_ws(b, pos);
-        value(b, pos)?;
+        value(b, pos, depth + 1)?;
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -83,7 +93,10 @@ fn object(b: &[u8], pos: &mut usize) -> Result<(), (usize, &'static str)> {
     }
 }
 
-fn array(b: &[u8], pos: &mut usize) -> Result<(), (usize, &'static str)> {
+fn array(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), (usize, &'static str)> {
+    if depth >= MAX_NESTING_DEPTH {
+        return Err((*pos, "nesting deeper than MAX_NESTING_DEPTH"));
+    }
     *pos += 1; // consume '['
     skip_ws(b, pos);
     if b.get(*pos) == Some(&b']') {
@@ -92,7 +105,7 @@ fn array(b: &[u8], pos: &mut usize) -> Result<(), (usize, &'static str)> {
     }
     loop {
         skip_ws(b, pos);
-        value(b, pos)?;
+        value(b, pos, depth + 1)?;
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -222,5 +235,24 @@ mod tests {
     fn reports_the_offset_of_the_first_violation() {
         let (pos, _) = validate("[1, 2, oops]").unwrap_err();
         assert_eq!(pos, 7);
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // A megabyte of '[' used to recurse once per byte and blow the
+        // thread stack; now it must return a depth error.
+        let hostile = "[".repeat(1 << 20);
+        let (_, why) = validate(&hostile).unwrap_err();
+        assert!(why.contains("MAX_NESTING_DEPTH"), "got: {why}");
+        // Same for objects.
+        let hostile = "{\"k\":".repeat(1 << 18);
+        let (_, why) = validate(&hostile).unwrap_err();
+        assert!(why.contains("MAX_NESTING_DEPTH"), "got: {why}");
+        // Nesting at exactly the limit still validates.
+        let depth = MAX_NESTING_DEPTH;
+        let fine = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert_eq!(validate(&fine), Ok(()));
+        let over = format!("{}1{}", "[".repeat(depth + 1), "]".repeat(depth + 1));
+        assert!(validate(&over).is_err());
     }
 }

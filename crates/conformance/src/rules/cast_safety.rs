@@ -12,10 +12,16 @@
 //! * binary `+` / `-` directly after a counter-like identifier.
 //!
 //! "Counter-like" is by name: contains `cycle`, `latency`, or `deadline`,
-//! contains `bytes`, or ends in `_sum`. The fix is `saturating_*` /
-//! `checked_*` (or `try_from` for casts); intentional wrapping or a
-//! provably-bounded value takes a `conformance:allow(cast-safety)`
-//! comment with the bound.
+//! contains `bytes`, or ends in `_sum`. Since the TCP front end landed the
+//! same treatment covers "wire-like" identifiers — names with an
+//! underscore-separated segment equal (case-insensitively) to `len`,
+//! `frame`, `offset`, `payload`, or `port` — because lengths and offsets
+//! parsed off a hostile wire are exactly the values an attacker controls:
+//! a narrowing cast or unchecked sum on one is a remotely triggerable
+//! wrap. Segment matching (not substring) keeps `report`/`support`/
+//! `transport_mode` out of scope. The fix is `saturating_*` / `checked_*`
+//! (or `try_from` for casts); intentional wrapping or a provably-bounded
+//! value takes a `conformance:allow(cast-safety)` comment with the bound.
 
 use super::{sim_state_models, Rule, Violation};
 use crate::lexer::{Tok, TokKind};
@@ -26,6 +32,9 @@ pub struct CastSafety;
 /// Cast targets considered narrowing for a counter.
 const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
+/// Underscore-separated segments that mark a wire-protocol quantity.
+const WIRE_SEGMENTS: [&str; 5] = ["len", "frame", "offset", "payload", "port"];
+
 /// Heuristic for "this identifier names a cycle/byte counter".
 fn counter_like(name: &str) -> bool {
     name.contains("cycle")
@@ -35,14 +44,33 @@ fn counter_like(name: &str) -> bool {
         || name.ends_with("_sum")
 }
 
+/// Heuristic for "this identifier names a wire-protocol length/offset".
+/// Matches whole `_`-separated segments case-insensitively (`payload_len`,
+/// `HEADER_LEN`, `frame_id`), never substrings (`report`, `support`).
+fn wire_like(name: &str) -> bool {
+    name.split('_').any(|seg| WIRE_SEGMENTS.iter().any(|w| seg.eq_ignore_ascii_case(w)))
+}
+
+/// Category label when `name` is in scope for the lint, else `None`.
+fn flagged(name: &str) -> Option<&'static str> {
+    if counter_like(name) {
+        Some("counter-like")
+    } else if wire_like(name) {
+        Some("wire-protocol")
+    } else {
+        None
+    }
+}
+
 impl Rule for CastSafety {
     fn name(&self) -> &'static str {
         "cast-safety"
     }
     fn description(&self) -> &'static str {
-        "no narrowing `as` casts or unchecked +/- on cycle/byte counters in \
-         sim-state crates; use saturating_*/checked_*/try_from or justify \
-         with a conformance:allow comment"
+        "no narrowing `as` casts or unchecked +/- on cycle/byte counters or \
+         wire-protocol lengths/offsets (len/frame/offset/payload/port \
+         segments) in sim-state crates; use saturating_*/checked_*/try_from \
+         or justify with a conformance:allow comment"
     }
     fn check(&self, a: &Analysis) -> Vec<Violation> {
         let mut out = Vec::new();
@@ -76,20 +104,21 @@ fn check_cast(rel: &str, toks: &[Tok], i: usize, out: &mut Vec<Violation>) {
         return;
     };
     if src.kind == TokKind::Ident
-        && counter_like(&src.text)
         && ty.kind == TokKind::Ident
         && NARROW_TARGETS.contains(&ty.text.as_str())
     {
-        out.push(violation(
-            rel,
-            toks[i].line,
-            format!(
-                "narrowing cast `{} as {}` on a counter-like value; use \
-                 {}::try_from and handle the overflow (or justify with a \
-                 conformance:allow comment)",
-                src.text, ty.text, ty.text
-            ),
-        ));
+        if let Some(cat) = flagged(&src.text) {
+            out.push(violation(
+                rel,
+                toks[i].line,
+                format!(
+                    "narrowing cast `{} as {}` on a {cat} value; use \
+                     {}::try_from and handle the overflow (or justify with a \
+                     conformance:allow comment)",
+                    src.text, ty.text, ty.text
+                ),
+            ));
+        }
     }
 }
 
@@ -97,25 +126,27 @@ fn check_cast(rel: &str, toks: &[Tok], i: usize, out: &mut Vec<Violation>) {
 /// the start of the statement) names a counter-like identifier.
 fn check_compound(rel: &str, toks: &[Tok], i: usize, out: &mut Vec<Violation>) {
     let mut j = i;
-    let mut hit: Option<&Tok> = None;
+    let mut hit: Option<(&Tok, &'static str)> = None;
     while j > 0 {
         j -= 1;
         let t = &toks[j];
         if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
             break;
         }
-        if t.kind == TokKind::Ident && counter_like(&t.text) {
-            hit = Some(t);
+        if t.kind == TokKind::Ident {
+            if let Some(cat) = flagged(&t.text) {
+                hit = Some((t, cat));
+            }
         }
     }
-    if let Some(id) = hit {
+    if let Some((id, cat)) = hit {
         let op = &toks[i].text;
         let fix = if op == "+=" { "saturating_add" } else { "saturating_sub" };
         out.push(violation(
             rel,
             toks[i].line,
             format!(
-                "unchecked `{op}` on counter-like `{}`; use {fix} or checked_* \
+                "unchecked `{op}` on {cat} `{}`; use {fix} or checked_* \
                  (or justify with a conformance:allow comment)",
                 id.text
             ),
@@ -128,14 +159,17 @@ fn check_binary(rel: &str, toks: &[Tok], i: usize, out: &mut Vec<Violation>) {
     let Some(prev) = i.checked_sub(1).map(|j| &toks[j]) else {
         return;
     };
-    if prev.kind == TokKind::Ident && counter_like(&prev.text) {
+    if prev.kind != TokKind::Ident {
+        return;
+    }
+    if let Some(cat) = flagged(&prev.text) {
         let op = &toks[i].text;
         let fix = if op == "+" { "saturating_add" } else { "saturating_sub" };
         out.push(violation(
             rel,
             toks[i].line,
             format!(
-                "unchecked `{op}` after counter-like `{}`; use {fix} or checked_* \
+                "unchecked `{op}` after {cat} `{}`; use {fix} or checked_* \
                  (or justify with a conformance:allow comment)",
                 prev.text
             ),

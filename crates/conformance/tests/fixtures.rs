@@ -155,7 +155,7 @@ fn attribution_totality_rule_fires_and_suppresses() {
 #[test]
 fn cast_safety_rule_fires_and_suppresses() {
     let report = fixture("cast_safety");
-    assert_eq!(report.violations.len(), 2, "{}", report.human());
+    assert_eq!(report.violations.len(), 4, "{}", report.human());
     let compound = &report.violations[0];
     assert_eq!(compound.rule, "cast-safety");
     assert_eq!(compound.line, 10);
@@ -163,7 +163,16 @@ fn cast_safety_rule_fires_and_suppresses() {
     let cast = &report.violations[1];
     assert_eq!(cast.line, 14);
     assert!(cast.message.contains("narrowing cast `stall_cycles as u32`"));
-    // The bounded `bytes_hint as u16` carries an allow comment.
+    // Wire-protocol identifiers (len/frame/offset/payload/port segments)
+    // are in scope since the TCP front end landed.
+    let wire_sum = &report.violations[2];
+    assert_eq!(wire_sum.line, 26);
+    assert!(wire_sum.message.contains("unchecked `+` after wire-protocol `payload_len`"));
+    let wire_cast = &report.violations[3];
+    assert_eq!(wire_cast.line, 30);
+    assert!(wire_cast.message.contains("narrowing cast `frame_offset as u16`"));
+    // `report + 1` on line 35 matches no whole segment and must NOT fire;
+    // the bounded `bytes_hint as u16` carries an allow comment.
     assert_eq!(report.suppressed, 1);
 }
 

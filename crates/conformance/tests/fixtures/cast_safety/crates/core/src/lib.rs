@@ -19,3 +19,18 @@ impl Meter {
         self.bytes_hint as u16
     }
 }
+
+/// Wire-identifier coverage: attacker-controlled lengths/offsets get the
+/// same treatment as counters.
+pub fn frame_total(payload_len: u32, header: u32) -> u32 {
+    payload_len + header
+}
+
+pub fn offset_lo(frame_offset: u64) -> u16 {
+    frame_offset as u16
+}
+
+/// Segment matching, not substrings: `report` must stay out of scope.
+pub fn report_total(report: u32) -> u32 {
+    report + 1
+}

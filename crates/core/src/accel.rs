@@ -223,6 +223,7 @@ impl Accelerator {
     /// # Errors
     ///
     /// The first constraint [`MatRaptorConfig::try_validate`] reports.
+    #[must_use = "dropping the Result discards the constructed accelerator or the config error"]
     pub fn try_new(cfg: MatRaptorConfig) -> Result<Self, ConfigError> {
         cfg.try_validate()?;
         Ok(Accelerator { cfg })
@@ -269,6 +270,7 @@ impl Accelerator {
     /// [`SimError::CycleBudgetExceeded`] if the budget backstop trips,
     /// [`SimError::QueueOverflow`] for unrecoverable overflows, and
     /// [`SimError::OutputCorrupted`] when an integrity check fails.
+    #[must_use = "dropping the Result loses both the run outcome and any fault diagnosis"]
     pub fn try_run(&self, a: &Csr<f64>, b: &Csr<f64>) -> Result<RunOutcome, SimError> {
         self.try_run_with_faults(a, b, None)
     }
@@ -280,6 +282,7 @@ impl Accelerator {
     ///
     /// As [`Accelerator::try_run`]; which variant depends on the fault
     /// (see [`FaultKind`]).
+    #[must_use = "dropping the Result loses both the run outcome and any fault diagnosis"]
     pub fn try_run_with_faults(
         &self,
         a: &Csr<f64>,
@@ -306,6 +309,7 @@ impl Accelerator {
     ///
     /// As [`Accelerator::try_run_with_faults`]. No trace is returned for a
     /// failed run.
+    #[must_use = "dropping the Result loses both the run outcome and any fault diagnosis"]
     pub fn try_run_traced(
         &self,
         a: &Csr<f64>,
@@ -337,6 +341,7 @@ impl Accelerator {
     ///
     /// As [`Accelerator::try_run`], for failures occurring *before* the
     /// checkpoint cycle.
+    #[must_use = "dropping the Result loses the checkpoint or the fault diagnosis"]
     pub fn try_run_to_checkpoint(
         &self,
         a: &Csr<f64>,
@@ -365,6 +370,7 @@ impl Accelerator {
     ///
     /// As [`Accelerator::try_run`], for failures occurring *before* the
     /// deadline cycle.
+    #[must_use = "dropping the Result loses the deadline verdict"]
     pub fn try_run_deadline(
         &self,
         a: &Csr<f64>,
@@ -400,6 +406,7 @@ impl Accelerator {
     ///
     /// [`SimError::CheckpointMismatch`] for foreign checkpoints; otherwise
     /// as [`Accelerator::try_run`], for failures inside the slice.
+    #[must_use = "dropping the Result loses the slice outcome or pause checkpoint"]
     pub fn try_run_slice(
         &self,
         a: &Csr<f64>,
@@ -431,6 +438,7 @@ impl Accelerator {
     ///
     /// [`SimError::CheckpointMismatch`] for foreign checkpoints; otherwise
     /// as [`Accelerator::try_run`].
+    #[must_use = "dropping the Result loses the resumed run outcome"]
     pub fn try_run_from(
         &self,
         a: &Csr<f64>,
@@ -454,6 +462,7 @@ impl Accelerator {
     ///
     /// A [`FailedRun`] carrying the [`SimError`] and the most recent
     /// checkpoint taken before the failure (if any).
+    #[must_use = "dropping the Result loses the run outcome and its checkpoints"]
     pub fn try_run_with_checkpoints(
         &self,
         a: &Csr<f64>,

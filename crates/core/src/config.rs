@@ -142,6 +142,7 @@ impl MatRaptorConfig {
     /// queues, queue smaller than one entry, lane count not equal to the
     /// channel count — the configuration the paper evaluates and this
     /// model supports, non-integer clock ratio, invalid HBM parameters).
+    #[must_use = "the Err explains why this configuration cannot be built"]
     pub fn try_validate(&self) -> Result<(), ConfigError> {
         if self.num_lanes == 0 {
             return Err(ConfigError::NoLanes);

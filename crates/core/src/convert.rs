@@ -81,7 +81,7 @@ pub fn conversion_cycles_directed(
     let mut pos = 0u64;
     while pos < read_total {
         let len = chunk.min(read_total - pos);
-        reads.push((pos, len as u32));
+        reads.push((pos, u32::try_from(len).unwrap_or(u32::MAX)));
         pos += len;
     }
     // Write plan: per-channel C²SR streams plus the row-info array.
@@ -95,7 +95,10 @@ pub fn conversion_cycles_directed(
         while remaining > 0 {
             let boundary = (chan_local[ch] / chunk + 1) * chunk;
             let len = remaining.min(boundary - chan_local[ch]);
-            writes.push((wbase + cfg.mem.channel_local_to_flat(ch, chan_local[ch]), len as u32));
+            writes.push((
+                wbase + cfg.mem.channel_local_to_flat(ch, chan_local[ch]),
+                u32::try_from(len).unwrap_or(u32::MAX),
+            ));
             chan_local[ch] += len;
             remaining -= len;
         }
@@ -103,7 +106,7 @@ pub fn conversion_cycles_directed(
     let mut ipos = 0u64;
     while ipos < info_bytes {
         let len = chunk.min(info_bytes.saturating_sub(ipos));
-        writes.push((2 * wbase + ipos, len as u32));
+        writes.push((2 * wbase + ipos, u32::try_from(len).unwrap_or(u32::MAX)));
         ipos += len;
     }
 

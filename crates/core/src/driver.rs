@@ -115,6 +115,7 @@ pub struct Driver<'a> {
 /// when the accelerator itself terminates a run abnormally.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
+#[must_use = "a driver error says how the run terminated; dropping it hides an abnormal termination"]
 pub enum DriverError {
     /// `x0` was never written with 1 — the host did not start the run.
     NotStarted,

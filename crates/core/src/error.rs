@@ -20,6 +20,7 @@ use std::fmt;
 /// Why a simulated run could not produce a result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
+#[must_use = "a sim error carries the failure diagnosis; dropping it hides a failed run"]
 pub enum SimError {
     /// No pipeline component made forward progress for a full watchdog
     /// window: the machine is wedged. Carries the full per-lane and

@@ -168,7 +168,7 @@ pub fn csr_streams(row_bytes: &[u64], num_pes: usize, element_bytes: u32) -> Vec
         let pe = i % num_pes;
         let mut pos = 0u64;
         while pos < len {
-            let chunk = (element_bytes as u64).min(len - pos) as u32;
+            let chunk = (element_bytes as u64).min(len.saturating_sub(pos)) as u32;
             streams[pe].push((off + pos, chunk));
             pos += chunk as u64;
         }
@@ -191,7 +191,7 @@ pub fn c2sr_streams(
     // Channel-local extent per PE.
     let mut local_len = vec![0u64; num_pes];
     for (i, &len) in row_bytes.iter().enumerate() {
-        local_len[i % num_pes] += len;
+        local_len[i % num_pes] = local_len[i % num_pes].saturating_add(len);
     }
     let mut streams = vec![Vec::new(); num_pes];
     for pe in 0..num_pes {

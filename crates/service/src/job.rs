@@ -37,6 +37,7 @@ pub struct JobSpec {
 /// Why a submission was refused at admission. Every variant is explicit
 /// backpressure — the caller learns immediately, nothing is buffered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a rejection is explicit backpressure; dropping it silently loses the refusal"]
 pub enum Rejected {
     /// The tenant's bounded queue is at capacity.
     QueueFull {
@@ -96,6 +97,13 @@ pub enum Disposition {
     DeadlineExceeded,
     /// Every permitted accelerator attempt faulted.
     Failed,
+    /// Cancelled by the submitter while still queued — the job never
+    /// touched the machine (zero service cycles, zero attempts).
+    Cancelled,
+    /// Paused at a graceful drain: the job ran one bounded slice, did not
+    /// finish inside the drain budget, and its serialized checkpoint was
+    /// handed back so the work can resume after restart.
+    CheckpointedAtDrain,
 }
 
 impl Disposition {
@@ -106,6 +114,8 @@ impl Disposition {
             Disposition::CompletedOnCpu => "completed_on_cpu",
             Disposition::DeadlineExceeded => "deadline_exceeded",
             Disposition::Failed => "failed",
+            Disposition::Cancelled => "cancelled",
+            Disposition::CheckpointedAtDrain => "checkpointed_at_drain",
         }
     }
 }

@@ -56,6 +56,7 @@ mod job;
 mod quarantine;
 mod sched;
 mod service;
+pub mod wire;
 mod worker;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
@@ -66,7 +67,8 @@ pub use fleet::{
 pub use job::{estimate_flops, Disposition, JobId, JobRecord, JobSpec, Rejected, TenantId};
 pub use quarantine::Quarantine;
 pub use service::{
-    DeadlinePolicy, Service, ServiceConfig, ServiceCounters, ServiceError, TenantConfig,
+    DeadlinePolicy, DrainSummary, DrainedCheckpoint, Service, ServiceConfig, ServiceCounters,
+    ServiceError, TenantConfig,
 };
 pub use worker::{
     Worker, WorkerClass, WorkerFault, WorkerFaultEvent, WorkerFaultPlan, WorkerId, WorkerState,

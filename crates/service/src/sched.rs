@@ -90,8 +90,23 @@ impl DrrScheduler {
             return Err(job);
         }
         queue.push_back(job);
-        self.len += 1;
+        self.len = self.len.saturating_add(1);
         Ok(())
+    }
+
+    /// Remove a queued job by id (mid-queue cancellation), handing the
+    /// job back. Deterministic: queues are scanned in tenant order, and a
+    /// job id appears at most once across all queues. Deficits are left
+    /// untouched — the cancelled job never consumed any.
+    pub(crate) fn remove(&mut self, id: JobId) -> Option<Pending> {
+        for queue in &mut self.queues {
+            if let Some(pos) = queue.iter().position(|p| p.id == id) {
+                let job = queue.remove(pos)?;
+                self.len = self.len.saturating_sub(1);
+                return Some(job);
+            }
+        }
+        None
     }
 
     /// Dispatch the next job under DRR, or `None` when idle.
@@ -141,7 +156,7 @@ impl DrrScheduler {
     fn serve(&mut self, t: usize) -> Option<Pending> {
         let job = self.queues[t].pop_front()?;
         self.deficits[t] = self.deficits[t].saturating_sub(cost_of(&job));
-        self.len -= 1;
+        self.len = self.len.saturating_sub(1);
         if self.queues[t].is_empty() {
             self.deficits[t] = 0;
             self.advance();

@@ -2,9 +2,9 @@
 
 use matraptor_core::{
     classify, fingerprint_inputs, Accelerator, ConfigError, Driver, DriverError, MatRaptorConfig,
-    MtxWrite, RunOutcome, SimError, Verdict,
+    MtxWrite, RunOutcome, SimError, SliceRun, Verdict,
 };
-use matraptor_sim::trace::MetricsRegistry;
+use matraptor_sim::trace::{fnv1a64, MetricsRegistry};
 use matraptor_sim::{Cycle, SimClock};
 use matraptor_sparse::spgemm;
 
@@ -106,6 +106,7 @@ impl ServiceConfig {
 
 /// Construction-time failures.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a service construction error must be handled, not dropped"]
 pub enum ServiceError {
     /// The accelerator configuration failed validation.
     InvalidAccelConfig(ConfigError),
@@ -127,7 +128,7 @@ impl std::error::Error for ServiceError {}
 /// Monotone event counters, all incremented at well-defined points so a
 /// campaign can reconcile them: `submitted = accepted + rejected_*`, and
 /// `accepted = completed_accel + completed_cpu + deadline_exceeded +
-/// failed + still-queued`.
+/// failed + cancelled + checkpointed_at_drain + still-queued`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceCounters {
     /// Submissions seen (accepted or not).
@@ -148,12 +149,54 @@ pub struct ServiceCounters {
     pub deadline_exceeded: u64,
     /// Jobs whose every permitted accelerator attempt faulted.
     pub failed: u64,
+    /// Jobs cancelled by the submitter while still queued.
+    pub cancelled: u64,
+    /// Jobs paused and checkpointed by a graceful drain.
+    pub checkpointed_at_drain: u64,
     /// Extra accelerator attempts consumed by retries.
     pub retries: u64,
     /// Faulted jobs that completed on the accelerator with a verdict of
     /// [`Verdict::Escaped`] — silent corruption the ABFT net missed. The
     /// stress campaign's strict mode fails on any non-zero value.
     pub escapes: u64,
+}
+
+/// One job a graceful drain paused instead of finishing: its bounded
+/// drain slice ran out before completion, so the in-flight state was
+/// serialized through the core checkpoint path and handed back here. A
+/// host that restarts can resume the work from these bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainedCheckpoint {
+    /// The paused job.
+    pub job: JobId,
+    /// Its tenant.
+    pub tenant: TenantId,
+    /// Simulated cycle (within the run) the pause landed on.
+    pub paused_at_cycle: u64,
+    /// Size of the serialized checkpoint, in bytes.
+    pub serialized_bytes: usize,
+    /// FNV-1a-64 over the serialized checkpoint bytes — lets a strict
+    /// campaign pin that re-runs drain to bit-identical machine state.
+    pub fingerprint: u64,
+}
+
+/// What a graceful drain did with every job that was still queued: each
+/// one either finished (accelerator or CPU), hit its own deadline, failed,
+/// or was checkpointed for post-restart resume. `completed_accel +
+/// completed_cpu + deadline_exceeded + failed + checkpoints.len()` equals
+/// the queue depth at drain time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DrainSummary {
+    /// Jobs that finished on the accelerator inside their drain slice.
+    pub completed_accel: u64,
+    /// Jobs shed to the CPU fallback (breaker open at drain time).
+    pub completed_cpu: u64,
+    /// Jobs whose drain slice reached their cycle deadline.
+    pub deadline_exceeded: u64,
+    /// Jobs whose single drain attempt faulted.
+    pub failed: u64,
+    /// The paused jobs, in dispatch order.
+    pub checkpoints: Vec<DrainedCheckpoint>,
 }
 
 /// The deterministic multi-job service. See the crate docs for the model.
@@ -268,6 +311,8 @@ impl Service {
             ("service.completed_cpu", c.completed_cpu),
             ("service.deadline_exceeded", c.deadline_exceeded),
             ("service.failed", c.failed),
+            ("service.cancelled", c.cancelled),
+            ("service.checkpointed_at_drain", c.checkpointed_at_drain),
             ("service.retries", c.retries),
             ("service.escapes", c.escapes),
             ("service.pending", self.sched.len() as u64),
@@ -316,6 +361,107 @@ impl Service {
         };
         self.records.push(record);
         self.records.last()
+    }
+
+    /// Cancel a job that is still queued. Returns the cancellation record
+    /// when `id` was waiting (the job is resolved as
+    /// [`Disposition::Cancelled`] with zero service cycles and zero
+    /// accelerator attempts), or `None` when it is unknown or already
+    /// dispatched — mid-flight work is bounded by its deadline, not by
+    /// cancellation.
+    pub fn cancel(&mut self, id: JobId) -> Option<&JobRecord> {
+        let job = self.sched.remove(id)?;
+        self.counters.cancelled = self.counters.cancelled.saturating_add(1);
+        let record = self.resolve(&job, self.clock.now(), 0, Disposition::Cancelled);
+        self.records.push(record);
+        self.records.last()
+    }
+
+    /// Gracefully drain the queue: every waiting job is dispatched once
+    /// and either runs to completion inside `slice_budget` simulated
+    /// cycles, or is paused through the core checkpoint path
+    /// ([`Driver::launch_slice`]) and handed back serialized. After a
+    /// drain the service is empty (`pending() == 0`); nothing stops new
+    /// submissions — a server that wants to refuse them does so at its
+    /// own admission edge.
+    ///
+    /// Dispatch order, clock accounting, and breaker interaction are the
+    /// same as [`Service::step`], so a drained campaign replays
+    /// byte-identically. Faulted drain attempts are not retried (drain
+    /// wants the machine parked, not healed) but still strike the
+    /// quarantine and feed the breaker.
+    pub fn drain(&mut self, slice_budget: u64) -> DrainSummary {
+        let mut summary = DrainSummary::default();
+        while let Some(job) = self.sched.pop() {
+            let started = self.clock.now();
+            if !self.breaker.admits(started) {
+                let record = self.run_on_cpu(job, started, 0);
+                self.records.push(record);
+                summary.completed_cpu += 1;
+                continue;
+            }
+            let budget = slice_budget.max(1).min(job.deadline_cycles.max(1));
+            let result = {
+                let mut driver = Driver::new(&self.accel);
+                driver.mtx(MtxWrite::ARows(job.a.rows() as u64));
+                driver.mtx(MtxWrite::BRows(job.b.rows() as u64));
+                driver.mtx(MtxWrite::X0(1));
+                driver.launch_slice(&job.a, &job.b, job.plan.as_ref(), None, budget)
+            };
+            let record = match result {
+                Ok(SliceRun::Completed(outcome)) => {
+                    self.clock.advance(outcome.stats.total_cycles.max(1));
+                    self.breaker.record_success(self.clock.now());
+                    self.counters.completed_accel += 1;
+                    summary.completed_accel += 1;
+                    if let Some(plan) = &job.plan {
+                        let probe: Result<RunOutcome, SimError> = Ok(*outcome);
+                        if classify(plan.kind, &probe) == Verdict::Escaped {
+                            self.counters.escapes += 1;
+                        }
+                    }
+                    self.resolve(&job, started, 1, Disposition::Completed)
+                }
+                Ok(SliceRun::Paused(checkpoint)) => {
+                    let at = checkpoint.cycle();
+                    self.clock.advance(at.max(1));
+                    if at >= job.deadline_cycles {
+                        self.counters.deadline_exceeded =
+                            self.counters.deadline_exceeded.saturating_add(1);
+                        summary.deadline_exceeded = summary.deadline_exceeded.saturating_add(1);
+                        self.resolve(&job, started, 1, Disposition::DeadlineExceeded)
+                    } else {
+                        let bytes = checkpoint.to_bytes();
+                        summary.checkpoints.push(DrainedCheckpoint {
+                            job: job.id,
+                            tenant: job.tenant,
+                            paused_at_cycle: at,
+                            serialized_bytes: bytes.len(),
+                            fingerprint: fnv1a64(&bytes),
+                        });
+                        self.counters.checkpointed_at_drain =
+                            self.counters.checkpointed_at_drain.saturating_add(1);
+                        self.resolve(&job, started, 1, Disposition::CheckpointedAtDrain)
+                    }
+                }
+                Err(DriverError::AcceleratorFault(e)) => {
+                    self.clock.advance(fault_cycle_charge(&e, job.deadline_cycles));
+                    self.breaker.record_failure(self.clock.now());
+                    self.counters.failed += 1;
+                    summary.failed += 1;
+                    self.quarantine.strike(job.fingerprint);
+                    self.resolve(&job, started, 1, Disposition::Failed)
+                }
+                Err(_) => {
+                    self.counters.failed += 1;
+                    summary.failed += 1;
+                    self.quarantine.strike(job.fingerprint);
+                    self.resolve(&job, started, 1, Disposition::Failed)
+                }
+            };
+            self.records.push(record);
+        }
+        summary
     }
 
     /// Drive the job on the accelerator, retrying faults up to the
@@ -693,6 +839,82 @@ mod tests {
             c.submitted,
             c.accepted + c.rejected_queue_full + c.rejected_quarantined + c.rejected_invalid
         );
+    }
+
+    #[test]
+    fn cancel_removes_a_queued_job_without_touching_the_machine() {
+        let mut s = Service::new(ServiceConfig::small_test()).unwrap();
+        let first = s.submit(spec(0, 1, None)).unwrap();
+        let second = s.submit(spec(0, 2, None)).unwrap();
+        let record = s.cancel(second).expect("queued job must cancel").clone();
+        assert_eq!(record.disposition, Disposition::Cancelled);
+        assert_eq!(record.attempts, 0);
+        assert_eq!(record.service_cycles(), 0);
+        assert_eq!(s.counters().cancelled, 1);
+        assert_eq!(s.pending(), 1);
+        // Unknown and already-resolved ids are not cancellable.
+        assert!(s.cancel(JobId(99)).is_none());
+        let done = s.step().unwrap().clone();
+        assert_eq!(done.id, first);
+        assert_eq!(done.disposition, Disposition::Completed);
+        assert!(s.cancel(first).is_none(), "resolved jobs cannot be cancelled");
+        // Reconciliation still holds with a cancel in the mix.
+        let c = *s.counters();
+        assert_eq!(c.accepted, c.completed_accel + c.cancelled);
+    }
+
+    #[test]
+    fn drain_completes_or_checkpoints_every_queued_job() {
+        let mut s = Service::new(ServiceConfig::small_test()).unwrap();
+        for i in 0..4 {
+            s.submit(spec(i % 2, 70 + i as u64, None)).unwrap();
+        }
+        // A tiny slice budget forces pauses: jobs of this size take tens
+        // of thousands of cycles, so a 200-cycle slice cannot finish one.
+        let summary = s.drain(200);
+        assert_eq!(s.pending(), 0, "drain must empty the queue");
+        assert_eq!(summary.checkpoints.len(), 4);
+        assert_eq!(s.counters().checkpointed_at_drain, 4);
+        for ck in &summary.checkpoints {
+            assert!(ck.paused_at_cycle > 0 && ck.paused_at_cycle <= 200);
+            assert!(ck.serialized_bytes > 0);
+        }
+        assert!(s.records().iter().all(|r| r.disposition == Disposition::CheckpointedAtDrain));
+        // Re-running the same campaign drains to bit-identical checkpoints.
+        let mut t = Service::new(ServiceConfig::small_test()).unwrap();
+        for i in 0..4 {
+            t.submit(spec(i % 2, 70 + i as u64, None)).unwrap();
+        }
+        assert_eq!(t.drain(200), summary);
+    }
+
+    #[test]
+    fn drain_with_a_generous_budget_completes_everything() {
+        let mut s = Service::new(ServiceConfig::small_test()).unwrap();
+        for i in 0..3 {
+            s.submit(spec(0, 80 + i as u64, None)).unwrap();
+        }
+        let summary = s.drain(u64::MAX);
+        assert_eq!(summary.completed_accel, 3);
+        assert!(summary.checkpoints.is_empty());
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.counters().completed_accel, 3);
+    }
+
+    #[test]
+    fn drain_sheds_to_cpu_while_the_breaker_is_open() {
+        let mut cfg = ServiceConfig::small_test();
+        cfg.breaker =
+            BreakerConfig { failure_threshold: 1, cooldown_cycles: 1 << 40, ..cfg.breaker };
+        let mut s = Service::new(cfg).unwrap();
+        let lanes = s.cfg.accel.num_lanes;
+        s.submit(spec(0, 91, Some(FaultPlan::sample(FaultKind::ChannelStall, 5, lanes)))).unwrap();
+        s.step().unwrap();
+        assert_eq!(s.breaker_state(), BreakerState::Open);
+        s.submit(spec(0, 92, None)).unwrap();
+        let summary = s.drain(200);
+        assert_eq!(summary.completed_cpu, 1, "open breaker sheds drained jobs to the CPU");
+        assert!(summary.checkpoints.is_empty());
     }
 
     #[test]

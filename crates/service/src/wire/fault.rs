@@ -1,0 +1,443 @@
+//! Seeded wire-fault injector: the hostile peer, as a library.
+//!
+//! Each [`WireFaultKind`] is one scripted misbehavior a real network can
+//! produce — truncation, corruption, oversized declarations, garbage
+//! preambles, pathological write patterns, stalls, abrupt closes, and
+//! slow-loris trickle. [`inject`] opens its own connection, performs the
+//! act, then *observes* how the server reacted (which taxonomy reply, if
+//! any; whether the connection survived) so a campaign can hold the
+//! server to an exact contract per fault kind: hostile frames must be
+//! **rejected** with the right [`RejectCode`] (or closed), benign
+//! pathologies (split writes, coalesced frames) must be **survived**, and
+//! nothing may ever panic or escape the taxonomy.
+//!
+//! All randomness comes from a caller-provided [`ChaCha8Rng`], so a
+//! seeded campaign replays the identical byte stream every run.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+use matraptor_sparse::rng::ChaCha8Rng;
+
+use super::frame::{
+    decode_response, encode_frame, encode_request, read_frame, Op, ReadBudget, RejectCode, Request,
+    Response, HEADER_LEN, MAGIC, VERSION,
+};
+
+/// The hostile repertoire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WireFaultKind {
+    /// A header cut off mid-way, then a clean close.
+    TruncatedHeader,
+    /// A valid header whose declared payload never fully arrives.
+    TruncatedPayload,
+    /// A header declaring a payload far over the server's cap.
+    OversizedDeclared,
+    /// A valid frame with one payload bit flipped (checksum mismatch).
+    CorruptedChecksum,
+    /// Random garbage where the magic should be.
+    GarbagePreamble,
+    /// A well-formed frame carrying an unsupported version.
+    BadVersionFrame,
+    /// A valid ping delivered in 1–4 byte writes — must be survived.
+    SplitWrites,
+    /// Two valid pings in a single write — both must be answered.
+    CoalescedFrames,
+    /// A connection that never sends a byte (idle-budget test).
+    StalledConnection,
+    /// A connection closed hard immediately after a partial frame.
+    AbruptClose,
+    /// One byte per read-deadline against a large declared payload.
+    SlowLoris,
+}
+
+impl WireFaultKind {
+    /// Every kind, in campaign-schedule order.
+    pub const ALL: [WireFaultKind; 11] = [
+        WireFaultKind::TruncatedHeader,
+        WireFaultKind::TruncatedPayload,
+        WireFaultKind::OversizedDeclared,
+        WireFaultKind::CorruptedChecksum,
+        WireFaultKind::GarbagePreamble,
+        WireFaultKind::BadVersionFrame,
+        WireFaultKind::SplitWrites,
+        WireFaultKind::CoalescedFrames,
+        WireFaultKind::StalledConnection,
+        WireFaultKind::AbruptClose,
+        WireFaultKind::SlowLoris,
+    ];
+
+    /// Stable lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WireFaultKind::TruncatedHeader => "truncated_header",
+            WireFaultKind::TruncatedPayload => "truncated_payload",
+            WireFaultKind::OversizedDeclared => "oversized_declared",
+            WireFaultKind::CorruptedChecksum => "corrupted_checksum",
+            WireFaultKind::GarbagePreamble => "garbage_preamble",
+            WireFaultKind::BadVersionFrame => "bad_version_frame",
+            WireFaultKind::SplitWrites => "split_writes",
+            WireFaultKind::CoalescedFrames => "coalesced_frames",
+            WireFaultKind::StalledConnection => "stalled_connection",
+            WireFaultKind::AbruptClose => "abrupt_close",
+            WireFaultKind::SlowLoris => "slow_loris",
+        }
+    }
+
+    /// Whether a correct server *survives* this kind (serves it normally)
+    /// rather than rejecting or dropping it. Split and coalesced writes
+    /// are legal TCP; everything else is hostile.
+    pub fn must_survive(self) -> bool {
+        matches!(self, WireFaultKind::SplitWrites | WireFaultKind::CoalescedFrames)
+    }
+
+    /// The taxonomy reply a correct server answers this kind with
+    /// (`None` where the contract is a close without an addressable
+    /// reply — stalls and abrupt closes).
+    pub fn expected_reject(self) -> Option<RejectCode> {
+        match self {
+            WireFaultKind::TruncatedHeader => Some(RejectCode::Truncated),
+            WireFaultKind::TruncatedPayload => Some(RejectCode::Truncated),
+            WireFaultKind::OversizedDeclared => Some(RejectCode::FrameTooLarge),
+            WireFaultKind::CorruptedChecksum => Some(RejectCode::BadChecksum),
+            WireFaultKind::GarbagePreamble => Some(RejectCode::BadMagic),
+            WireFaultKind::BadVersionFrame => Some(RejectCode::BadVersion),
+            WireFaultKind::SplitWrites | WireFaultKind::CoalescedFrames => None,
+            WireFaultKind::StalledConnection => None,
+            WireFaultKind::AbruptClose => None,
+            WireFaultKind::SlowLoris => Some(RejectCode::TimedOut),
+        }
+    }
+}
+
+/// Injector tunables (client-side timing only; the server's posture is
+/// configured on the server).
+#[derive(Debug, Clone, Copy)]
+pub struct InjectorConfig {
+    /// Per-read deadline while observing the server's reaction, ms.
+    pub read_timeout_ms: u64,
+    /// Read budget while waiting for a reaction.
+    pub observe_reads: u32,
+    /// Milliseconds between split-write chunks (keep well under the
+    /// server's `read_timeout_ms × frame_reads` so split writes survive).
+    pub split_pace_ms: u64,
+    /// Milliseconds between slow-loris bytes (keep *over* the server's
+    /// read deadline so every byte costs the server budget).
+    pub loris_pace_ms: u64,
+    /// Slow-loris bytes to attempt before giving up.
+    pub loris_max_bytes: u32,
+}
+
+impl InjectorConfig {
+    /// Defaults matched to [`WireServerConfig::local`]
+    /// (25 ms server read deadline).
+    ///
+    /// [`WireServerConfig::local`]: super::server::WireServerConfig::local
+    pub fn default_local() -> Self {
+        InjectorConfig {
+            read_timeout_ms: 25,
+            observe_reads: 400,
+            split_pace_ms: 1,
+            loris_pace_ms: 40,
+            loris_max_bytes: 64,
+        }
+    }
+}
+
+/// What the server did about one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultObservation {
+    /// The fault performed.
+    pub kind: WireFaultKind,
+    /// Non-error replies received (pongs for split/coalesced).
+    pub ok_replies: u32,
+    /// The first taxonomy error reply, if any.
+    pub reject: Option<RejectCode>,
+    /// Whether the server closed the connection.
+    pub closed: bool,
+    /// Whether the injector even managed to connect.
+    pub connected: bool,
+}
+
+impl FaultObservation {
+    /// Whether the observation matches the per-kind contract: survivable
+    /// kinds answered in full with no error, hostile kinds answered with
+    /// exactly the expected taxonomy code (or closed, where no reply is
+    /// addressable). Anything else is a protocol escape.
+    pub fn matches_contract(&self) -> bool {
+        if !self.connected {
+            return false;
+        }
+        let kind = self.kind;
+        if kind.must_survive() {
+            let want = if kind == WireFaultKind::CoalescedFrames { 2 } else { 1 };
+            return self.ok_replies == want && self.reject.is_none();
+        }
+        match kind.expected_reject() {
+            Some(code) => self.reject == Some(code) && self.ok_replies == 0,
+            None => self.reject.is_none() && self.ok_replies == 0 && self.closed,
+        }
+    }
+}
+
+/// Performs one fault against `addr` and observes the reaction.
+pub fn inject(
+    addr: SocketAddr,
+    kind: WireFaultKind,
+    cfg: &InjectorConfig,
+    rng: &mut ChaCha8Rng,
+) -> FaultObservation {
+    let mut obs =
+        FaultObservation { kind, ok_replies: 0, reject: None, closed: false, connected: false };
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return obs;
+    };
+    obs.connected = true;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))));
+    let _ = stream.set_nodelay(true);
+
+    match kind {
+        WireFaultKind::TruncatedHeader => {
+            let frame = ping_frame(rng);
+            let cut = 1usize
+                .saturating_add((rng.next_u64() as usize) % HEADER_LEN.saturating_sub(1).max(1));
+            let _ = stream.write_all(&frame[..cut]);
+            let _ = stream.shutdown(Shutdown::Write);
+            observe(&mut stream, cfg, &mut obs);
+        }
+        WireFaultKind::TruncatedPayload => {
+            let frame = submit_like_frame(rng);
+            // Keep the whole header but cut the payload short.
+            let body = frame.len().saturating_sub(HEADER_LEN).max(1);
+            let cut = HEADER_LEN.saturating_add((rng.next_u64() as usize) % body);
+            let _ = stream.write_all(&frame[..cut.min(frame.len())]);
+            let _ = stream.shutdown(Shutdown::Write);
+            observe(&mut stream, cfg, &mut obs);
+        }
+        WireFaultKind::OversizedDeclared => {
+            let mut frame = ping_frame(rng);
+            frame[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+            let _ = stream.write_all(&frame[..HEADER_LEN]);
+            observe(&mut stream, cfg, &mut obs);
+        }
+        WireFaultKind::CorruptedChecksum => {
+            let mut frame = submit_like_frame(rng);
+            let body = frame.len().saturating_sub(HEADER_LEN).max(1);
+            let flip =
+                HEADER_LEN.saturating_add((rng.next_u64() as usize) % body).min(frame.len() - 1);
+            frame[flip] ^= 1 << (rng.next_u64() % 8);
+            let _ = stream.write_all(&frame);
+            observe(&mut stream, cfg, &mut obs);
+        }
+        WireFaultKind::GarbagePreamble => {
+            let mut garbage = [0u8; HEADER_LEN];
+            for b in garbage.iter_mut() {
+                *b = rng.next_u64() as u8;
+            }
+            // Guarantee the magic really is wrong.
+            if garbage[..4] == MAGIC {
+                garbage[0] = garbage[0].wrapping_add(1);
+            }
+            let _ = stream.write_all(&garbage);
+            observe(&mut stream, cfg, &mut obs);
+        }
+        WireFaultKind::BadVersionFrame => {
+            let mut frame = ping_frame(rng);
+            frame[4..6].copy_from_slice(&VERSION.wrapping_add(41).to_le_bytes());
+            let _ = stream.write_all(&frame);
+            observe(&mut stream, cfg, &mut obs);
+        }
+        WireFaultKind::SplitWrites => {
+            let frame = ping_frame(rng);
+            let mut sent = 0usize;
+            while sent < frame.len() {
+                let chunk = 1 + (rng.next_u64() as usize) % 4;
+                let end = (sent + chunk).min(frame.len());
+                if stream.write_all(&frame[sent..end]).is_err() {
+                    break;
+                }
+                let _ = stream.flush();
+                sent = end;
+                std::thread::sleep(Duration::from_millis(cfg.split_pace_ms));
+            }
+            observe(&mut stream, cfg, &mut obs);
+        }
+        WireFaultKind::CoalescedFrames => {
+            let mut bytes = ping_frame(rng);
+            bytes.extend_from_slice(&ping_frame(rng));
+            let _ = stream.write_all(&bytes);
+            observe_n(&mut stream, cfg, &mut obs, 2);
+        }
+        WireFaultKind::StalledConnection => {
+            // Send nothing; the server's idle budget must close us.
+            observe(&mut stream, cfg, &mut obs);
+        }
+        WireFaultKind::AbruptClose => {
+            let frame = submit_like_frame(rng);
+            let cut = HEADER_LEN.saturating_add(frame.len().saturating_sub(HEADER_LEN) / 2);
+            let _ = stream.write_all(&frame[..cut]);
+            // Hard close both directions without reading the reaction —
+            // the contract is simply that the server survives; a fresh
+            // probe connection verifies that.
+            let _ = stream.shutdown(Shutdown::Both);
+            obs.closed = true;
+            return obs;
+        }
+        WireFaultKind::SlowLoris => {
+            // Declare a payload far larger than we will ever send, so the
+            // frame can never complete: the server's mid-frame read
+            // budget must expire no matter how generous it is relative to
+            // the trickle length.
+            let mut frame = ping_frame(rng);
+            frame[16..20].copy_from_slice(&4096u32.to_le_bytes());
+            frame.resize(frame.len().saturating_add(cfg.loris_max_bytes as usize), 0x5a);
+            let mut sent = 0usize;
+            let limit = frame.len();
+            while sent < limit {
+                if stream.write_all(&frame[sent..=sent]).is_err() {
+                    break;
+                }
+                let _ = stream.flush();
+                sent += 1;
+                std::thread::sleep(Duration::from_millis(cfg.loris_pace_ms));
+                // Peek for an early reaction so the trickle stops as soon
+                // as the server gives up on us.
+                if probe_reaction(&mut stream, &mut obs) {
+                    break;
+                }
+            }
+            if !obs.closed && obs.reject.is_none() {
+                observe(&mut stream, cfg, &mut obs);
+            }
+        }
+    }
+    obs
+}
+
+/// A valid ping frame with an rng-drawn frame id (so repeated faults
+/// don't share ids).
+fn ping_frame(rng: &mut ChaCha8Rng) -> Vec<u8> {
+    encode_frame(Op::Ping, rng.next_u64() | 1, &[])
+}
+
+/// A valid frame with a non-trivial payload (a poll request padded by
+/// its 8-byte job id) — enough body to cut, flip, or trickle.
+fn submit_like_frame(rng: &mut ChaCha8Rng) -> Vec<u8> {
+    let Ok((op, payload)) = encode_request(&Request::Poll { job: rng.next_u64() }) else {
+        return Vec::new();
+    };
+    encode_frame(op, rng.next_u64() | 1, &payload)
+}
+
+/// Reads the server's reaction: up to one reply, then close/timeout.
+fn observe(stream: &mut TcpStream, cfg: &InjectorConfig, obs: &mut FaultObservation) {
+    observe_n(stream, cfg, obs, 1);
+}
+
+/// Reads up to `want_ok` replies, recording the first error reply and
+/// whether the connection closed.
+fn observe_n(
+    stream: &mut TcpStream,
+    cfg: &InjectorConfig,
+    obs: &mut FaultObservation,
+    want_ok: u32,
+) {
+    let budget =
+        ReadBudget { idle_reads: cfg.observe_reads.max(1), frame_reads: cfg.observe_reads.max(1) };
+    loop {
+        match read_frame(stream, super::frame::DEFAULT_MAX_FRAME_LEN, budget) {
+            Ok(raw) => match decode_response(&raw) {
+                Ok(Response::Error { code, .. }) => {
+                    if obs.reject.is_none() {
+                        obs.reject = Some(code);
+                    }
+                }
+                Ok(_) => {
+                    obs.ok_replies = obs.ok_replies.saturating_add(1);
+                    if obs.ok_replies >= want_ok && obs.reject.is_none() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            },
+            Err((_, e)) => {
+                obs.closed = matches!(
+                    e,
+                    super::frame::WireError::Closed
+                        | super::frame::WireError::Truncated { .. }
+                        | super::frame::WireError::Io(_)
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Non-blocking-ish single probe: one short read to see whether the
+/// server already reacted. Returns true when the trickle should stop.
+fn probe_reaction(stream: &mut TcpStream, obs: &mut FaultObservation) -> bool {
+    let budget = ReadBudget { idle_reads: 1, frame_reads: 4 };
+    match read_frame(stream, super::frame::DEFAULT_MAX_FRAME_LEN, budget) {
+        Ok(raw) => {
+            if let Ok(Response::Error { code, .. }) = decode_response(&raw) {
+                if obs.reject.is_none() {
+                    obs.reject = Some(code);
+                }
+            }
+            true
+        }
+        Err((_, super::frame::WireError::IdleExpired)) => false,
+        Err((_, super::frame::WireError::TimedOut)) => false,
+        Err((_, e)) => {
+            obs.closed = matches!(
+                e,
+                super::frame::WireError::Closed
+                    | super::frame::WireError::Truncated { .. }
+                    | super::frame::WireError::Io(_)
+            );
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_a_label_and_a_contract_side() {
+        let mut labels = std::collections::BTreeSet::new();
+        for kind in WireFaultKind::ALL {
+            assert!(labels.insert(kind.label()), "labels must be unique");
+            if kind.must_survive() {
+                assert!(kind.expected_reject().is_none(), "survivable kinds expect no reject");
+            }
+        }
+        assert_eq!(labels.len(), WireFaultKind::ALL.len());
+    }
+
+    #[test]
+    fn contract_matching_is_strict() {
+        let base = FaultObservation {
+            kind: WireFaultKind::CorruptedChecksum,
+            ok_replies: 0,
+            reject: Some(RejectCode::BadChecksum),
+            closed: false,
+            connected: true,
+        };
+        assert!(base.matches_contract());
+        assert!(!FaultObservation { reject: Some(RejectCode::BadMagic), ..base }.matches_contract());
+        assert!(!FaultObservation { ok_replies: 1, ..base }.matches_contract());
+        assert!(!FaultObservation { connected: false, ..base }.matches_contract());
+        let split = FaultObservation {
+            kind: WireFaultKind::SplitWrites,
+            ok_replies: 1,
+            reject: None,
+            closed: false,
+            connected: true,
+        };
+        assert!(split.matches_contract());
+        assert!(!FaultObservation { ok_replies: 0, ..split }.matches_contract());
+    }
+}

@@ -1,0 +1,258 @@
+//! Malformed-frame corpus over real loopback TCP.
+//!
+//! Every entry in the corpus is one hostile byte stream; the contract per
+//! entry is exact: the server answers with the *right* taxonomy code (or
+//! closes, where no reply is addressable), never panics, and — the part
+//! that matters for availability — **keeps serving clean traffic
+//! afterwards**. Each case ends with a fresh-connection ping probe.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use matraptor_service::wire::{
+    ClientError, InjectorConfig, Op, RejectCode, Response, RetryPolicy, WireClient, WireFaultKind,
+    WireServer, WireServerConfig, HEADER_LEN,
+};
+use matraptor_service::ServiceConfig;
+use matraptor_sparse::rng::ChaCha8Rng;
+
+/// A server with tight budgets so stall/loris cases resolve quickly.
+fn hostile_test_server() -> WireServer {
+    let mut cfg = WireServerConfig::local(ServiceConfig::small_test());
+    cfg.read_timeout_ms = 5;
+    cfg.idle_reads = 20; // 100 ms idle timeout
+    cfg.frame_reads = 20; // 100 ms stall ceiling per frame
+    WireServer::start(cfg, "127.0.0.1:0").expect("bind loopback")
+}
+
+/// The liveness probe: a fresh connection must still get a pong.
+fn assert_still_serving(server: &WireServer, seed: u64) {
+    let mut client =
+        WireClient::connect(server.addr(), RetryPolicy::default_local(), seed).expect("reconnect");
+    match client.ping() {
+        Ok(Response::Pong) => {}
+        other => panic!("server stopped serving after a hostile frame: {other:?}"),
+    }
+}
+
+/// Sends raw bytes, then reads one reply frame (if any) with a bounded
+/// wait; returns the decoded error code when the server replied.
+fn send_raw_and_read_error(server: &WireServer, bytes: &[u8]) -> Option<RejectCode> {
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_millis(20))).expect("timeout");
+    s.write_all(bytes).expect("write");
+    let _ = s.shutdown(Shutdown::Write);
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    for _ in 0..100 {
+        match s.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if !buf.is_empty() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    if buf.len() < HEADER_LEN {
+        return None;
+    }
+    let op = u16::from_le_bytes([buf[6], buf[7]]);
+    if op != Op::Error as u16 {
+        return None;
+    }
+    let code = u16::from_le_bytes([buf[HEADER_LEN], buf[HEADER_LEN + 1]]);
+    RejectCode::from_u16(code)
+}
+
+/// A valid ping frame to mutate.
+fn ping_bytes(id: u64) -> Vec<u8> {
+    matraptor_service::wire::frame::encode_frame(Op::Ping, id, &[])
+}
+
+#[test]
+fn truncated_header_is_refused_and_service_survives() {
+    let server = hostile_test_server();
+    let bytes = ping_bytes(1);
+    let code = send_raw_and_read_error(&server, &bytes[..HEADER_LEN / 2]);
+    assert_eq!(code, Some(RejectCode::Truncated));
+    assert_still_serving(&server, 101);
+    assert_eq!(server.shutdown().thread_panics, 0);
+}
+
+#[test]
+fn oversized_declared_length_is_capped_before_allocation() {
+    let server = hostile_test_server();
+    let mut bytes = ping_bytes(2);
+    bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+    let code = send_raw_and_read_error(&server, &bytes[..HEADER_LEN]);
+    assert_eq!(code, Some(RejectCode::FrameTooLarge));
+    assert_still_serving(&server, 102);
+    assert_eq!(server.shutdown().thread_panics, 0);
+}
+
+#[test]
+fn bad_magic_is_refused() {
+    let server = hostile_test_server();
+    let mut bytes = ping_bytes(3);
+    bytes[0..4].copy_from_slice(b"EVIL");
+    let code = send_raw_and_read_error(&server, &bytes);
+    assert_eq!(code, Some(RejectCode::BadMagic));
+    assert_still_serving(&server, 103);
+    assert_eq!(server.shutdown().thread_panics, 0);
+}
+
+#[test]
+fn bad_version_is_refused() {
+    let server = hostile_test_server();
+    let mut bytes = ping_bytes(4);
+    bytes[4..6].copy_from_slice(&0xBEEFu16.to_le_bytes());
+    let code = send_raw_and_read_error(&server, &bytes);
+    assert_eq!(code, Some(RejectCode::BadVersion));
+    assert_still_serving(&server, 104);
+    assert_eq!(server.shutdown().thread_panics, 0);
+}
+
+#[test]
+fn checksum_mismatch_is_refused_but_the_connection_keeps_serving() {
+    let server = hostile_test_server();
+    // A poll frame with a flipped payload bit...
+    let (op, payload) =
+        matraptor_service::wire::frame::encode_request(&matraptor_service::wire::Request::Poll {
+            job: 9,
+        })
+        .expect("encode");
+    let mut bad = matraptor_service::wire::frame::encode_frame(op, 5, &payload);
+    let last = bad.len() - 1;
+    bad[last] ^= 0x10;
+    // ...followed by a clean ping ON THE SAME connection: the payload was
+    // fully consumed, so framing stays in sync and the ping must answer.
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_millis(20))).expect("timeout");
+    s.write_all(&bad).expect("write bad");
+    s.write_all(&ping_bytes(6)).expect("write ping");
+    let mut seen_err = false;
+    let mut seen_pong = false;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    for _ in 0..200 {
+        match s.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+        // Scan whole frames out of the buffer.
+        while buf.len() >= HEADER_LEN {
+            let plen = u32::from_le_bytes([buf[16], buf[17], buf[18], buf[19]]) as usize;
+            if buf.len() < HEADER_LEN + plen {
+                break;
+            }
+            let op = u16::from_le_bytes([buf[6], buf[7]]);
+            if op == Op::Error as u16 {
+                let code = u16::from_le_bytes([buf[HEADER_LEN], buf[HEADER_LEN + 1]]);
+                assert_eq!(RejectCode::from_u16(code), Some(RejectCode::BadChecksum));
+                seen_err = true;
+            } else if op == Op::Pong as u16 {
+                seen_pong = true;
+            }
+            buf.drain(..HEADER_LEN + plen);
+        }
+        if seen_err && seen_pong {
+            break;
+        }
+    }
+    assert!(seen_err, "checksum mismatch must be reported");
+    assert!(seen_pong, "the connection must keep serving after a checksum error");
+    assert_still_serving(&server, 105);
+    assert_eq!(server.shutdown().thread_panics, 0);
+}
+
+#[test]
+fn split_and_coalesced_writes_both_succeed() {
+    let server = hostile_test_server();
+    // Split: one ping, dribbled 3 bytes at a time.
+    let bytes = ping_bytes(7);
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_millis(20))).expect("timeout");
+    for chunk in bytes.chunks(3) {
+        s.write_all(chunk).expect("split write");
+        s.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut reply = vec![0u8; HEADER_LEN];
+    read_exact_with_retry(&mut s, &mut reply);
+    assert_eq!(u16::from_le_bytes([reply[6], reply[7]]), Op::Pong as u16);
+
+    // Coalesced: two pings in one write, two pongs back.
+    let mut two = ping_bytes(8);
+    two.extend_from_slice(&ping_bytes(9));
+    s.write_all(&two).expect("coalesced write");
+    for expected_id in [8u64, 9u64] {
+        let mut reply = vec![0u8; HEADER_LEN];
+        read_exact_with_retry(&mut s, &mut reply);
+        assert_eq!(u16::from_le_bytes([reply[6], reply[7]]), Op::Pong as u16);
+        let id = u64::from_le_bytes(reply[8..16].try_into().expect("id bytes"));
+        assert_eq!(id, expected_id);
+    }
+    assert_still_serving(&server, 106);
+    assert_eq!(server.shutdown().thread_panics, 0);
+}
+
+#[test]
+fn the_full_injector_repertoire_matches_its_contract() {
+    let server = hostile_test_server();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE);
+    let mut cfg = InjectorConfig::default_local();
+    cfg.read_timeout_ms = 5;
+    cfg.observe_reads = 200;
+    cfg.loris_pace_ms = 10; // over the server's 5 ms read deadline
+    for kind in WireFaultKind::ALL {
+        let obs = matraptor_service::wire::fault::inject(server.addr(), kind, &cfg, &mut rng);
+        assert!(obs.matches_contract(), "fault {} escaped its contract: {obs:?}", kind.label());
+        assert_still_serving(&server, 200 + kind as u64);
+    }
+    assert_eq!(server.shutdown().thread_panics, 0);
+}
+
+#[test]
+fn client_surfaces_exhausted_retries_as_typed_errors() {
+    let server = hostile_test_server();
+    let addr = server.addr();
+    let down = server.shutdown();
+    assert_eq!(down.thread_panics, 0);
+    // The port is now unserved; connection must exhaust retries.
+    let policy = RetryPolicy { max_attempts: 2, base_backoff_ms: 1, ..RetryPolicy::no_retry() };
+    match WireClient::connect(addr, policy, 11) {
+        Err(ClientError::Exhausted { attempts, .. }) => assert_eq!(attempts, 2),
+        Ok(_) => panic!("connected to a shut-down server"),
+        Err(other) => panic!("expected Exhausted, got {other:?}"),
+    }
+}
+
+/// `read_exact` tolerant of the loopback read timeout.
+fn read_exact_with_retry(s: &mut TcpStream, buf: &mut [u8]) {
+    let mut filled = 0usize;
+    for _ in 0..400 {
+        if filled == buf.len() {
+            return;
+        }
+        match s.read(&mut buf[filled..]) {
+            Ok(0) => panic!("peer closed while a reply was expected"),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    panic!("reply never completed");
+}

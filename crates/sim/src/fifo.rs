@@ -43,6 +43,7 @@ impl<T> Fifo<T> {
     }
 
     /// Attempts to enqueue; hands the item back if the FIFO is full.
+    #[must_use = "the Err hands the rejected item back; dropping it loses the item"]
     pub fn try_push(&mut self, item: T) -> Result<(), T> {
         if self.items.len() >= self.capacity {
             Err(item)

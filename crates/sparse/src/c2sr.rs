@@ -74,6 +74,7 @@ impl<T: Scalar> C2sr<T> {
     /// # Errors
     ///
     /// Returns [`SparseError::ZeroChannels`] if `num_channels == 0`.
+    #[must_use = "dropping the Result discards the converted matrix or the format error"]
     pub fn try_from_csr(csr: &Csr<T>, num_channels: usize) -> Result<Self, SparseError> {
         if num_channels == 0 {
             return Err(SparseError::ZeroChannels);

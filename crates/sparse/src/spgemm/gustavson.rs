@@ -32,6 +32,7 @@ pub fn gustavson<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
 
 /// Fallible [`gustavson`]: returns [`SparseError::DimensionMismatch`]
 /// instead of panicking on non-conformable operands.
+#[must_use = "dropping the Result discards the product or the shape error"]
 pub fn try_gustavson<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>, SparseError> {
     Ok(try_gustavson_with_stats(a, b)?.0)
 }
@@ -47,6 +48,7 @@ pub fn gustavson_with_stats<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> (Csr<T>, OpSta
 }
 
 /// Fallible [`gustavson_with_stats`].
+#[must_use = "dropping the Result discards the product or the shape error"]
 pub fn try_gustavson_with_stats<T: Scalar>(
     a: &Csr<T>,
     b: &Csr<T>,

@@ -26,6 +26,7 @@ pub fn heap_merge<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
 
 /// Fallible [`heap_merge`]: returns [`SparseError::DimensionMismatch`]
 /// instead of panicking on non-conformable operands.
+#[must_use = "dropping the Result discards the product or the shape error"]
 pub fn try_heap_merge<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>, SparseError> {
     Ok(try_heap_merge_with_stats(a, b)?.0)
 }
@@ -41,6 +42,7 @@ pub fn heap_merge_with_stats<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> (Csr<T>, OpSt
 }
 
 /// Fallible [`heap_merge_with_stats`].
+#[must_use = "dropping the Result discards the product or the shape error"]
 pub fn try_heap_merge_with_stats<T: Scalar>(
     a: &Csr<T>,
     b: &Csr<T>,

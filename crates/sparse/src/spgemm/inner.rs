@@ -23,6 +23,7 @@ pub fn inner<T: Scalar>(a: &Csr<T>, b: &Csc<T>) -> Csr<T> {
 
 /// Fallible [`inner`]: returns [`SparseError::DimensionMismatch`] instead
 /// of panicking on non-conformable operands.
+#[must_use = "dropping the Result discards the product or the shape error"]
 pub fn try_inner<T: Scalar>(a: &Csr<T>, b: &Csc<T>) -> Result<Csr<T>, SparseError> {
     Ok(try_inner_with_stats(a, b)?.0)
 }
@@ -38,6 +39,7 @@ pub fn inner_with_stats<T: Scalar>(a: &Csr<T>, b: &Csc<T>) -> (Csr<T>, OpStats) 
 }
 
 /// Fallible [`inner_with_stats`].
+#[must_use = "dropping the Result discards the product or the shape error"]
 pub fn try_inner_with_stats<T: Scalar>(
     a: &Csr<T>,
     b: &Csc<T>,

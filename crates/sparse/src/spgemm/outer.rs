@@ -24,6 +24,7 @@ pub fn outer<T: Scalar>(a: &Csc<T>, b: &Csr<T>) -> Csr<T> {
 
 /// Fallible [`outer`]: returns [`SparseError::DimensionMismatch`] instead
 /// of panicking on non-conformable operands.
+#[must_use = "dropping the Result discards the product or the shape error"]
 pub fn try_outer<T: Scalar>(a: &Csc<T>, b: &Csr<T>) -> Result<Csr<T>, SparseError> {
     Ok(try_outer_with_stats(a, b)?.0)
 }
@@ -39,6 +40,7 @@ pub fn outer_with_stats<T: Scalar>(a: &Csc<T>, b: &Csr<T>) -> (Csr<T>, OpStats) 
 }
 
 /// Fallible [`outer_with_stats`].
+#[must_use = "dropping the Result discards the product or the shape error"]
 pub fn try_outer_with_stats<T: Scalar>(
     a: &Csc<T>,
     b: &Csr<T>,
