@@ -163,6 +163,7 @@ fn fleet_config(seed: u64, jobs: u64) -> FleetConfig {
         max_restarts: 1,
         max_degraded_restarts: 1,
         worker_faults: Some(worker_fault_script(seed, jobs)),
+        recovery_log_cap: 4_096,
     }
 }
 
@@ -269,6 +270,8 @@ struct CampaignResult {
     worker_retirements: u64,
     completed_cpu: u64,
     final_cycle: u64,
+    recovery_events_retained: usize,
+    recovery_log_cap: usize,
 }
 
 fn run_campaign(opts: &Options) -> CampaignResult {
@@ -470,7 +473,7 @@ fn run_campaign(opts: &Options) -> CampaignResult {
         "{{\"campaign\":{{\"seed\":{},\"jobs_target\":{},\"accel_workers\":{ACCEL_WORKERS},\"cpu_workers\":{CPU_WORKERS},\"slice_cycles\":4096,\"heartbeat_window\":150000}},\
 \"totals\":{{\"submitted\":{},\"accepted\":{},\"resolved\":{resolved},\"completed_accel\":{},\"completed_cpu\":{},\"deadline_exceeded\":{},\"failed\":{},\"retries\":{},\"escapes\":{},\"rejected_queue_full\":{},\"rejected_quarantined\":{},\"rejected_invalid\":{},\"quarantined_inputs\":{quarantined_inputs},\"pending_at_end\":{pending_at_end},\"resolved_on_cpu_workers\":{cpu_records}}},\
 \"fleet\":{{\"worker_crashes\":{},\"worker_hangs\":{},\"worker_slowdowns\":{},\"slowness_detections\":{},\"worker_restarts\":{},\"worker_degradations\":{},\"worker_retirements\":{},\"redispatches\":{},\"resumed_from_checkpoint\":{},\"restarted_from_scratch\":{},\"duplicates_suppressed\":{},\"duplicate_completions\":{}}},\
-\"recovery\":{{\"events\":{},\"by_kind\":{{{}}},\"log\":[{}]}},\
+\"recovery\":{{\"events\":{},\"dropped\":{},\"cap\":{},\"by_kind\":{{{}}},\"log\":[{}]}},\
 \"workers\":[{}],\
 \"slo\":{{\"final_cycle\":{final_cycle},\"jobs_per_gcycle\":{jobs_per_gcycle},\"queue_wait\":{{\"p50\":{},\"p99\":{}}},\"service_cycles\":{{\"p50\":{},\"p99\":{}}}}},\
 \"breaker\":{{\"final\":\"{}\",\"full_cycle\":{full_breaker_cycle},\"transitions\":[{}]}},\
@@ -501,6 +504,8 @@ fn run_campaign(opts: &Options) -> CampaignResult {
         f.duplicates_suppressed,
         f.duplicate_completions,
         log.len(),
+        fleet.recovery_events_dropped(),
+        fleet.recovery_log_cap(),
         recovery_by_kind.join(","),
         recovery_events.join(","),
         worker_objects.join(","),
@@ -530,6 +535,8 @@ fn run_campaign(opts: &Options) -> CampaignResult {
         worker_retirements: f.worker_retirements,
         completed_cpu: c.completed_cpu,
         final_cycle,
+        recovery_events_retained: fleet.recovery_log().len(),
+        recovery_log_cap: fleet.recovery_log_cap(),
     }
 }
 
@@ -623,6 +630,12 @@ fn main() {
         }
         if result.quarantined_inputs == 0 {
             failures.push("no input was quarantined".to_string());
+        }
+        if result.recovery_events_retained > result.recovery_log_cap {
+            failures.push(format!(
+                "recovery log breached its cap: {} retained > {}",
+                result.recovery_events_retained, result.recovery_log_cap
+            ));
         }
         // Replay determinism: the whole campaign, byte for byte —
         // including the recovery log and every worker's failure history.

@@ -328,7 +328,7 @@ fn run_campaign(opts: &Options) -> CampaignResult {
     let c = down.counters;
     let wall = format!(
         "{{\"latency_us\":{{\"submit\":{{\"p50\":{},\"p99\":{}}},\"poll\":{{\"p50\":{},\"p99\":{}}},\"ping\":{{\"p50\":{},\"p99\":{}}}}},\
-\"wire_counters\":{{\"accepted\":{},\"busy_rejected\":{},\"frames_ok\":{},\"replies_sent\":{},\"bad_magic\":{},\"bad_version\":{},\"bad_checksum\":{},\"frame_too_large\":{},\"truncated\":{},\"timed_out\":{},\"idle_closed\":{},\"malformed\":{},\"unknown_op\":{},\"clean_closed\":{},\"io_errors\":{}}}}}",
+\"wire_counters\":{{\"accepted\":{},\"busy_rejected\":{},\"drain_rejected\":{},\"frames_ok\":{},\"replies_sent\":{},\"bad_magic\":{},\"bad_version\":{},\"bad_checksum\":{},\"frame_too_large\":{},\"truncated\":{},\"timed_out\":{},\"idle_closed\":{},\"malformed\":{},\"unknown_op\":{},\"clean_closed\":{},\"io_errors\":{}}}}}",
         percentile(&submit_us, 50),
         percentile(&submit_us, 99),
         percentile(&poll_us, 50),
@@ -337,6 +337,7 @@ fn run_campaign(opts: &Options) -> CampaignResult {
         percentile(&ping_us, 99),
         c.accepted,
         c.busy_rejected,
+        c.drain_rejected,
         c.frames_ok,
         c.replies_sent,
         c.bad_magic,

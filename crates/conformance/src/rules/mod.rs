@@ -154,6 +154,11 @@ impl Rule for Determinism {
 /// hot paths: all of `core`, `mem`, and `service`, plus the `sparse` SpGEMM
 /// kernels and the C²SR converter. Token-stream based: `panic!` inside a
 /// string literal or doc comment does not count.
+///
+/// Also audits `unsafe` **workspace-wide** (test code included — memory
+/// safety does not care about `#[cfg(test)]`): every `unsafe` token must
+/// be justified by a `// SAFETY:` comment, either on the same line or in
+/// the contiguous comment block immediately above it.
 pub struct PanicSafety;
 
 fn panic_safety_applies(crate_name: Option<&str>, rel: &str) -> bool {
@@ -164,16 +169,66 @@ fn panic_safety_applies(crate_name: Option<&str>, rel: &str) -> bool {
     }
 }
 
+/// Whether the `unsafe` on 1-based `line` is covered by a `SAFETY:`
+/// comment: on the line itself, or anywhere in the unbroken run of `//`
+/// comment lines (or attributes) directly above it — multi-line SAFETY
+/// rationales are the norm.
+fn has_safety_comment(src: &SourceFile, line: usize) -> bool {
+    let idx = line.saturating_sub(1);
+    if src.lines.get(idx).is_some_and(|l| l.raw.contains("SAFETY:")) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let raw = src.lines[i].raw.trim_start();
+        if raw.starts_with("//") || raw.starts_with("#[") {
+            if raw.contains("SAFETY:") {
+                return true;
+            }
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
 impl Rule for PanicSafety {
     fn name(&self) -> &'static str {
         "panic-safety"
     }
     fn description(&self) -> &'static str {
         "core, mem, service, and the sparse SpGEMM/C2SR hot paths must propagate \
-         errors instead of calling unwrap/expect/panic! outside test code"
+         errors instead of calling unwrap/expect/panic! outside test code; every \
+         `unsafe` workspace-wide must carry a `// SAFETY:` comment"
     }
     fn check(&self, a: &Analysis) -> Vec<Violation> {
         let mut out = Vec::new();
+        // Workspace-wide: every `unsafe` needs a SAFETY rationale. One
+        // violation per line even when a line stacks several tokens.
+        for fm in &a.model.files {
+            let Some(src) = a.ws.sources.iter().find(|s| s.rel == fm.rel) else {
+                continue;
+            };
+            let mut flagged = 0usize;
+            for t in &fm.tokens {
+                if t.kind != TokKind::Ident || !t.is_ident("unsafe") || t.line == flagged {
+                    continue;
+                }
+                flagged = t.line;
+                if has_safety_comment(src, t.line) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: "panic-safety",
+                    file: fm.rel.clone(),
+                    line: t.line,
+                    message: "`unsafe` without a `// SAFETY:` comment on the preceding \
+                              line(s); justify the invariants that make it sound"
+                        .to_string(),
+                });
+            }
+        }
         for fm in
             a.model.files.iter().filter(|f| panic_safety_applies(f.crate_name.as_deref(), &f.rel))
         {

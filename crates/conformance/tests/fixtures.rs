@@ -45,6 +45,31 @@ fn panic_safety_rule_fires_and_suppresses() {
 }
 
 #[test]
+fn unsafe_without_safety_comment_fires_and_suppresses() {
+    let report = fixture("unsafe_safety");
+    assert_eq!(
+        report.violations.len(),
+        2,
+        "expected the bare block and the test-module block:\n{}",
+        report.human()
+    );
+    let bare = &report.violations[0];
+    assert_eq!(bare.rule, "panic-safety");
+    assert_eq!(bare.file, "crates/core/src/lib.rs");
+    assert_eq!(bare.line, 6);
+    assert!(bare.message.contains("SAFETY"));
+    // Memory safety does not care about `#[cfg(test)]`: the unjustified
+    // block inside the test module is audited like any other.
+    let in_test = &report.violations[1];
+    assert_eq!(in_test.line, 34);
+    assert!(in_test.message.contains("SAFETY"));
+    // The single-line rationale, the multi-line rationale above the
+    // `unsafe impl`, and the doc-comment prose all stay silent; the
+    // allow-commented block is suppressed.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
 fn layering_rule_fires_on_manifest_and_source_back_edges() {
     let report = fixture("layering");
     assert_eq!(

@@ -1,0 +1,37 @@
+//! Synthetic crate exercising the unsafe/SAFETY extension of the
+//! panic-safety rule. Never compiled. Mentions of unsafe in prose (like
+//! this one) must not fire: the rule is token-stream based.
+
+pub fn bare_unsafe(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn justified(p: *const u32) -> u32 {
+    // SAFETY: the caller hands a pointer derived from a live reference;
+    // the synthetic fixture only needs the comment shape to be right.
+    unsafe { *p }
+}
+
+// A multi-line rationale: the SAFETY tag sits two comment lines above the
+// keyword, which must still count.
+// SAFETY: the block below is justified by this contiguous comment run —
+// real rationales routinely span several lines before the
+// `unsafe impl` they cover.
+unsafe impl Send for Wrapper {}
+
+pub struct Wrapper(*const u32);
+
+pub fn allowed(p: *const u32) -> u32 {
+    // conformance:allow(panic-safety): fixture demonstrates suppression
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_is_still_audited() {
+        let x = 7u32;
+        let got = unsafe { *(&x as *const u32) };
+        assert_eq!(got, 7);
+    }
+}

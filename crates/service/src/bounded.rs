@@ -1,0 +1,110 @@
+//! A bounded append-only event log with oldest-first eviction.
+//!
+//! Adversarial campaigns can generate unbounded observability events
+//! (recovery actions, breaker flaps); an unbounded `Vec` is a slow memory
+//! leak the 10k-job campaigns would eventually hit. `BoundedLog` caps the
+//! history: pushes past the cap evict the *oldest half* in one bulk drain
+//! (amortized O(1) per push, unlike a per-push `remove(0)`), and every
+//! evicted event is counted so reports can state exactly how much history
+//! was shed. The log therefore always holds the most recent `cap/2..=cap`
+//! events and `entries() + dropped()` always accounts for every push.
+
+/// The bounded log. See the module docs for the eviction policy.
+#[derive(Debug, Clone)]
+pub(crate) struct BoundedLog<T> {
+    entries: Vec<T>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl<T> BoundedLog<T> {
+    /// An empty log holding at most `cap` events (clamped to ≥ 2).
+    pub(crate) fn new(cap: usize) -> Self {
+        BoundedLog { entries: Vec::new(), cap: cap.max(2), dropped: 0 }
+    }
+
+    /// Append an event, evicting the oldest half first if the log is at
+    /// its cap.
+    pub(crate) fn push(&mut self, event: T) {
+        if self.entries.len() >= self.cap {
+            let evict = self.cap / 2;
+            self.entries.drain(0..evict);
+            self.dropped = self.dropped.saturating_add(evict as u64);
+        }
+        self.entries.push(event);
+    }
+
+    /// The retained (most recent) events, oldest first.
+    pub(crate) fn entries(&self) -> &[T] {
+        &self.entries
+    }
+
+    /// Events evicted over the log's lifetime.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured cap.
+    pub(crate) fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Retained event count (always ≤ the cap).
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Hand the retained events out, consuming the log.
+    pub(crate) fn into_entries(self) -> Vec<T> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_cap_keeps_everything() {
+        let mut log = BoundedLog::new(8);
+        for i in 0..8 {
+            log.push(i);
+        }
+        assert_eq!(log.entries(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn over_cap_evicts_oldest_and_counts() {
+        let mut log = BoundedLog::new(8);
+        for i in 0..9 {
+            log.push(i);
+        }
+        // The 9th push evicted the oldest half (0..4).
+        assert_eq!(log.entries(), &[4, 5, 6, 7, 8]);
+        assert_eq!(log.dropped(), 4);
+        assert!(log.len() <= log.cap());
+    }
+
+    #[test]
+    fn long_hostile_stream_stays_within_cap_and_accounts_for_all() {
+        let mut log = BoundedLog::new(16);
+        for i in 0..10_000u64 {
+            log.push(i);
+            assert!(log.len() <= 16);
+        }
+        assert_eq!(log.len() as u64 + log.dropped(), 10_000);
+        // The newest event is always retained.
+        assert_eq!(*log.entries().last().expect("non-empty"), 9_999);
+    }
+
+    #[test]
+    fn tiny_cap_is_clamped() {
+        let mut log = BoundedLog::new(0);
+        log.push(1);
+        log.push(2);
+        log.push(3);
+        assert_eq!(log.cap(), 2);
+        assert!(log.len() <= 2);
+    }
+}

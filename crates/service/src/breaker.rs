@@ -16,6 +16,15 @@
 
 use matraptor_sim::Cycle;
 
+use crate::bounded::BoundedLog;
+
+/// Cap on the retained transition history. A flapping breaker under an
+/// adversarial campaign transitions without bound; past the cap the
+/// oldest half is evicted (and counted in
+/// [`CircuitBreaker::transitions_dropped`]) so the history cannot become
+/// a slow memory leak.
+const TRANSITION_LOG_CAP: usize = 1_024;
+
 /// Tunables for [`CircuitBreaker`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakerConfig {
@@ -78,7 +87,7 @@ pub struct CircuitBreaker {
     consecutive_failures: u32,
     open_until: Cycle,
     opens: u32,
-    transitions: Vec<BreakerTransition>,
+    transitions: BoundedLog<BreakerTransition>,
 }
 
 impl CircuitBreaker {
@@ -90,7 +99,7 @@ impl CircuitBreaker {
             consecutive_failures: 0,
             open_until: Cycle::ZERO,
             opens: 0,
-            transitions: Vec::new(),
+            transitions: BoundedLog::new(TRANSITION_LOG_CAP),
         }
     }
 
@@ -99,9 +108,18 @@ impl CircuitBreaker {
         self.state
     }
 
-    /// Every state change so far, in order.
+    /// The retained state changes, in order. Bounded: once the history
+    /// exceeds its cap the oldest half is evicted and counted in
+    /// [`CircuitBreaker::transitions_dropped`].
     pub fn transitions(&self) -> &[BreakerTransition] {
-        &self.transitions
+        self.transitions.entries()
+    }
+
+    /// Transitions evicted from the bounded history over the breaker's
+    /// lifetime; `transitions().len() + transitions_dropped()` accounts
+    /// for every state change.
+    pub fn transitions_dropped(&self) -> u64 {
+        self.transitions.dropped()
     }
 
     /// When an open breaker's cooldown expires — the cycle at which
@@ -260,5 +278,29 @@ mod tests {
         }
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.transitions().iter().filter(|t| t.to == BreakerState::Open).count(), 10);
+    }
+
+    #[test]
+    fn transition_history_is_bounded_with_eviction_accounting() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_cycles: 1,
+            max_backoff_doublings: 0,
+        });
+        // A relentlessly flapping breaker: every probe fails, so each
+        // round after the first adds two transitions (open → half-open →
+        // open). 2000 rounds is 3999 transitions, well past the cap.
+        let mut now = 0u64;
+        for _ in 0..2_000 {
+            now += 2;
+            assert!(b.admits(Cycle(now)));
+            b.record_failure(Cycle(now));
+        }
+        assert!(b.transitions().len() <= TRANSITION_LOG_CAP);
+        assert_eq!(b.transitions().len() as u64 + b.transitions_dropped(), 3_999);
+        // The newest transition is always retained.
+        let last = b.transitions().last().expect("flapping history is non-empty");
+        assert_eq!(last.to, BreakerState::Open);
+        assert_eq!(last.at, Cycle(now));
     }
 }

@@ -45,6 +45,7 @@ use matraptor_sim::trace::{fnv1a64, MetricsRegistry};
 use matraptor_sim::{Cycle, SimClock};
 use matraptor_sparse::{spgemm, Csr};
 
+use crate::bounded::BoundedLog;
 use crate::breaker::{BreakerState, BreakerTransition, CircuitBreaker};
 use crate::job::{Disposition, JobId, JobRecord, JobSpec, Rejected};
 use crate::quarantine::Quarantine;
@@ -83,6 +84,11 @@ pub struct FleetConfig {
     pub max_degraded_restarts: u32,
     /// The worker-failure schedule for this run, if any.
     pub worker_faults: Option<WorkerFaultPlan>,
+    /// Cap on the retained recovery log. Adversarial campaigns generate
+    /// recovery events without bound; past the cap the oldest half is
+    /// evicted in bulk and counted in
+    /// [`Fleet::recovery_events_dropped`]. Clamped to ≥ 2.
+    pub recovery_log_cap: usize,
 }
 
 impl FleetConfig {
@@ -99,6 +105,7 @@ impl FleetConfig {
             max_restarts: 2,
             max_degraded_restarts: 1,
             worker_faults: None,
+            recovery_log_cap: 4_096,
         }
     }
 }
@@ -295,12 +302,19 @@ pub struct Fleet {
     // conformance:allow(checkpoint-coverage): append-only history, not replay state
     records: Vec<FleetRecord>,
     // conformance:allow(checkpoint-coverage): append-only history, not replay state
-    recovery_log: Vec<RecoveryEvent>,
+    recovery_log: BoundedLog<RecoveryEvent>,
+    // conformance:allow(checkpoint-coverage): derived observability accumulated at resolution, not replay state
+    job_metrics: MetricsRegistry,
     // conformance:allow(checkpoint-coverage): consumed schedule; a resumed campaign re-arms its own plan
     faults: Option<WorkerFaultPlan>,
     next_id: u64,
     probe_worker: Option<usize>,
 }
+
+/// Bucket bounds (in cycles) for the job latency histograms recorded at
+/// resolution time.
+const CYCLE_BOUNDS: [u64; 10] =
+    [16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304];
 
 impl Fleet {
     /// Builds the fleet, validating the template accelerator configuration
@@ -332,6 +346,7 @@ impl Fleet {
             workers.push(worker);
         }
         let faults = cfg.worker_faults.clone();
+        let recovery_log = BoundedLog::new(cfg.recovery_log_cap);
         Ok(Fleet {
             cfg,
             clock: SimClock::new(),
@@ -345,7 +360,8 @@ impl Fleet {
             shed_cpu: VecDeque::new(),
             resolved: BTreeSet::new(),
             records: Vec::new(),
-            recovery_log: Vec::new(),
+            recovery_log,
+            job_metrics: MetricsRegistry::new(),
             faults,
             next_id: 0,
             probe_worker: None,
@@ -385,9 +401,26 @@ impl Fleet {
         &self.records
     }
 
-    /// The recovery log, in event order.
+    /// The retained recovery log, in event order. Bounded by
+    /// [`FleetConfig::recovery_log_cap`]: once full, the oldest half is
+    /// evicted and counted in [`Fleet::recovery_events_dropped`], so the
+    /// tail of a hostile campaign is always here even when the full
+    /// history is not.
     pub fn recovery_log(&self) -> &[RecoveryEvent] {
-        &self.recovery_log
+        self.recovery_log.entries()
+    }
+
+    /// Recovery events evicted from the bounded log over the run's
+    /// lifetime; `recovery_log().len() + recovery_events_dropped()`
+    /// accounts for every event ever logged.
+    pub fn recovery_events_dropped(&self) -> u64 {
+        self.recovery_log.dropped()
+    }
+
+    /// The effective recovery-log cap (the configured
+    /// [`FleetConfig::recovery_log_cap`], after clamping).
+    pub fn recovery_log_cap(&self) -> usize {
+        self.recovery_log.cap()
     }
 
     /// The workers, in id order.
@@ -463,11 +496,6 @@ impl Fleet {
         self.sched.len() + self.redispatch.len() + self.shed_cpu.len()
     }
 
-    /// Accelerator workers still participating in dispatch.
-    fn live_accel_count(&self) -> usize {
-        self.workers.iter().filter(|w| w.class() == WorkerClass::Accelerator && w.is_live()).count()
-    }
-
     /// Whether CPU worker `w` may pull *fresh* jobs from the scheduler:
     /// all slots activate while the breaker sheds, and one slot activates
     /// per retired accelerator worker (the "shed its share" rule).
@@ -534,15 +562,28 @@ impl Fleet {
                 WorkerClass::CpuFallback => {
                     if let Some(asg) = self.shed_cpu.pop_front() {
                         self.dispatch_cpu(w, asg);
-                    } else if self.cpu_slot_active(w) {
-                        if let Some(p) = self.sched.pop() {
-                            self.dispatch_cpu(w, fresh_assignment(p, now));
-                        }
-                    } else if self.live_accel_count() == 0 {
-                        // No accelerator will ever resume these: the CPU
-                        // tier absorbs the orphaned re-dispatch queue.
+                        continue;
+                    }
+                    // With the whole accelerator tier retired, no worker
+                    // will ever resume the re-dispatch queue: the CPU tier
+                    // absorbs it (resuming beats starting, as on the
+                    // accelerator side). Checked against *retirement*, not
+                    // liveness — a merely-restarting tier will come back
+                    // and should keep its resumable work.
+                    let accel_all_retired = self
+                        .workers
+                        .iter()
+                        .filter(|wk| wk.class() == WorkerClass::Accelerator)
+                        .all(|wk| wk.status() == WorkerStatus::Retired);
+                    if accel_all_retired {
                         if let Some(asg) = self.take_redispatch(w) {
                             self.dispatch_cpu(w, asg);
+                            continue;
+                        }
+                    }
+                    if self.cpu_slot_active(w) {
+                        if let Some(p) = self.sched.pop() {
+                            self.dispatch_cpu(w, fresh_assignment(p, now));
                         }
                     }
                 }
@@ -963,7 +1004,7 @@ impl Fleet {
             self.fleet.duplicate_completions = self.fleet.duplicate_completions.saturating_add(1);
             return;
         }
-        self.records.push(FleetRecord {
+        let fr = FleetRecord {
             record: JobRecord {
                 id: asg.job.id,
                 tenant: asg.job.tenant,
@@ -979,7 +1020,18 @@ impl Fleet {
             redispatches: asg.redispatches,
             resumed_from_checkpoint: asg.resumed,
             output_fingerprint,
-        });
+        };
+        // Fold per-job observability in here, once, instead of rebuilding
+        // it from the full record history on every `metrics()` call: the
+        // histogram state is bucket-bounded no matter how many jobs a
+        // campaign pushes through.
+        let r = &fr.record;
+        self.job_metrics
+            .add_counter(&format!("tenant.{}.{}", r.tenant.0, r.disposition.label()), 1);
+        self.job_metrics.record("job.queue_wait", &CYCLE_BOUNDS, r.queue_wait());
+        self.job_metrics.record("job.service_cycles", &CYCLE_BOUNDS, r.service_cycles());
+        self.job_metrics.record("job.deadline_slack", &CYCLE_BOUNDS, r.deadline_slack());
+        self.records.push(fr);
     }
 
     fn log(&mut self, w: usize, kind: RecoveryKind) {
@@ -992,10 +1044,12 @@ impl Fleet {
     /// counters, per-worker `worker.<i>.*` utilization counters, and the
     /// job latency histograms. Deterministic, so its fingerprint can ride
     /// a `--strict` replay gate.
+    ///
+    /// The histograms and tenant disposition counters are accumulated
+    /// incrementally at resolution time, so this call is O(workers +
+    /// counters) regardless of how many jobs the run has resolved.
     pub fn metrics(&self) -> MetricsRegistry {
-        const CYCLE_BOUNDS: [u64; 10] =
-            [16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304];
-        let mut m = MetricsRegistry::new();
+        let mut m = self.job_metrics.clone();
         let c = &self.counters;
         for (name, value) in [
             ("service.submitted", c.submitted),
@@ -1012,6 +1066,7 @@ impl Fleet {
             ("service.pending", self.pending() as u64),
             ("service.quarantined_inputs", self.quarantine.quarantined_count() as u64),
             ("service.breaker_transitions", self.breaker.transitions().len() as u64),
+            ("service.breaker_transitions_dropped", self.breaker.transitions_dropped()),
         ] {
             m.set_counter(name, value);
         }
@@ -1030,6 +1085,7 @@ impl Fleet {
             ("fleet.duplicates_suppressed", f.duplicates_suppressed),
             ("fleet.duplicate_completions", f.duplicate_completions),
             ("fleet.recovery_events", self.recovery_log.len() as u64),
+            ("fleet.recovery_events_dropped", self.recovery_log.dropped()),
         ] {
             m.set_counter(name, value);
         }
@@ -1040,13 +1096,6 @@ impl Fleet {
             m.set_counter(&format!("worker.{i}.completed"), stats.completed);
             m.set_counter(&format!("worker.{i}.busy_cycles"), stats.busy_cycles);
             m.set_counter(&format!("worker.{i}.restarts"), u64::from(worker.restarts()));
-        }
-        for r in &self.records {
-            let t = r.record.tenant.0;
-            m.add_counter(&format!("tenant.{t}.{}", r.record.disposition.label()), 1);
-            m.record("job.queue_wait", &CYCLE_BOUNDS, r.record.queue_wait());
-            m.record("job.service_cycles", &CYCLE_BOUNDS, r.record.service_cycles());
-            m.record("job.deadline_slack", &CYCLE_BOUNDS, r.record.deadline_slack());
         }
         m
     }
@@ -1173,6 +1222,31 @@ mod tests {
             runs.push((report_signature(&fleet), fleet.metrics().fingerprint()));
         }
         assert_eq!(runs[0], runs[1], "identical submissions must replay byte-identically");
+    }
+
+    /// Regression for the bounded observability logs: a hostile plan that
+    /// walks every worker down the whole recovery ladder emits far more
+    /// recovery events than a small cap retains. The log must stay within
+    /// the cap, count what it shed, and the run must still resolve every
+    /// job — bounding history must never change outcomes.
+    #[test]
+    fn recovery_log_stays_bounded_under_a_hostile_plan() {
+        let mut cfg = small_cfg();
+        cfg.recovery_log_cap = 6;
+        cfg.worker_faults = Some(WorkerFaultPlan::sample(0xB0B, 4, 30));
+        let mut fleet = Fleet::new(cfg).unwrap();
+        submit_batch(&mut fleet, 16);
+        fleet.run_to_idle();
+        assert_eq!(fleet.records().len(), 16, "hostile runs must still resolve every job");
+        assert_eq!(fleet.pending(), 0, "an all-retired tier must still drain its backlog");
+        assert!(fleet.recovery_log().len() <= 6, "retained log breaches its cap");
+        assert!(fleet.recovery_events_dropped() > 0, "the fault storm must overflow a cap of 6");
+        let m = fleet.metrics();
+        assert_eq!(m.counter("fleet.recovery_events"), Some(fleet.recovery_log().len() as u64));
+        assert_eq!(
+            m.counter("fleet.recovery_events_dropped"),
+            Some(fleet.recovery_events_dropped())
+        );
     }
 
     #[test]

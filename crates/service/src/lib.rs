@@ -50,9 +50,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bounded;
 mod breaker;
 mod fleet;
 mod job;
+pub mod parallel;
 mod quarantine;
 mod sched;
 mod service;
@@ -65,6 +67,10 @@ pub use fleet::{
     RecoveryKind,
 };
 pub use job::{estimate_flops, Disposition, JobId, JobRecord, JobSpec, Rejected, TenantId};
+pub use parallel::{
+    resolution_core_fingerprint, PanicRecord, ParCounters, ParJob, ParRecord, ParReport,
+    ParallelConfig, ParallelError,
+};
 pub use quarantine::Quarantine;
 pub use service::{
     DeadlinePolicy, DrainSummary, DrainedCheckpoint, Service, ServiceConfig, ServiceCounters,

@@ -1,0 +1,314 @@
+//! A bounded lock-free ring (Vyukov-style MPMC queue) used for both the
+//! SPMC dispatch path (main thread produces, worker threads consume) and
+//! the MPSC completion path (workers produce, the merge loop consumes).
+//!
+//! Each slot carries an atomic *sequence number* that encodes whether the
+//! slot is free for the producer at position `p` (`seq == p`), holds a
+//! value for the consumer at position `p` (`seq == p + 1`), or is still
+//! owned by a lagging peer (anything else). Producers and consumers claim
+//! positions with a CAS on the cached head/tail counters and then hand the
+//! slot over with a release store of the next sequence value, so a value
+//! written by one thread is fully visible to the thread that acquires it.
+//!
+//! Capacity is fixed at construction (rounded up to a power of two) and a
+//! full ring is **explicit backpressure**: [`SeqRing::try_push`] hands the
+//! value back as [`RingFull`] instead of blocking or growing. Nothing in
+//! here allocates after construction and nothing blocks; the ring is
+//! std-only (`std::sync::atomic`).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Explicit backpressure: the ring was full, here is your value back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RingFull<T>(pub T);
+
+/// Head/tail counters live on their own cache lines so producers and
+/// consumers do not false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Padded(AtomicUsize);
+
+#[derive(Debug)]
+struct Slot<T> {
+    /// The handover protocol word (see module docs).
+    seq: AtomicUsize,
+    /// The payload. Initialized exactly while `seq` says so.
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// The bounded lock-free ring. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct SeqRing<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    /// Producer position (next slot to claim for a push).
+    tail: Padded,
+    /// Consumer position (next slot to claim for a pop).
+    head: Padded,
+}
+
+// SAFETY: SeqRing hands each value from exactly one producer to exactly
+// one consumer through the slot sequence protocol (release store on
+// publish, acquire load on claim), so sending the ring between threads
+// moves `T` values with proper synchronization; `T: Send` is required
+// because values cross threads.
+unsafe impl<T: Send> Send for SeqRing<T> {}
+// SAFETY: all shared mutation goes through atomic claims; a slot's
+// `UnsafeCell` is only touched by the single thread that won the CAS for
+// that position, so `&SeqRing` may be shared across threads whenever the
+// payload itself is `Send`.
+unsafe impl<T: Send> Sync for SeqRing<T> {}
+
+impl<T> SeqRing<T> {
+    /// A ring holding at least `capacity` values (rounded up to the next
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        SeqRing { slots, mask: cap - 1, tail: Padded::default(), head: Padded::default() }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Values currently queued. Racy by nature (peers move concurrently);
+    /// useful for observability, never for correctness decisions.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the ring currently looks empty (racy, observability only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue `value`, or hand it back if the ring is full.
+    ///
+    /// # Errors
+    ///
+    /// [`RingFull`] carrying `value` when every slot is occupied — the
+    /// caller owns the backpressure decision (requeue, park, or shed).
+    pub fn try_push(&self, value: T) -> Result<(), RingFull<T>> {
+        let mut pos = self.tail.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            // Wrapping difference keeps the protocol correct across
+            // counter wraparound (usize arithmetic, same as seq).
+            let dif = seq.wrapping_sub(pos) as isize;
+            if dif == 0 {
+                // Slot is free for this position: claim it.
+                match self.tail.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS above made this thread the
+                        // unique owner of slot `pos`; no other producer
+                        // can claim it until `seq` advances past
+                        // `pos + capacity`, and the consumer waits for
+                        // the release store below before reading.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                // The slot still holds a value the consumer has not taken:
+                // the ring is full.
+                return Err(RingFull(value));
+            } else {
+                // Another producer claimed this position; reload and retry.
+                pos = self.tail.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeue the oldest value, or `None` when the ring is empty.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut pos = self.head.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq.wrapping_sub(pos.wrapping_add(1)) as isize;
+            if dif == 0 {
+                // Slot holds a value for this position: claim it.
+                match self.head.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made this thread the unique
+                        // consumer of slot `pos`, and the producer's
+                        // release store (observed by the acquire load of
+                        // `seq`) guarantees the value is fully written.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        // Hand the slot back to the producer one lap ahead.
+                        slot.seq.store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                // The slot has not been published for this position: empty.
+                return None;
+            } else {
+                // Another consumer claimed this position; reload and retry.
+                pos = self.head.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for SeqRing<T> {
+    fn drop(&mut self) {
+        // Drain undelivered values so their destructors run. `&mut self`
+        // means no concurrent peers; try_pop handles the rest.
+        while self.try_pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let r = SeqRing::with_capacity(4);
+        for i in 0..4 {
+            r.try_push(i).expect("fits");
+        }
+        assert_eq!(r.try_push(9).expect_err("full"), RingFull(9));
+        let got: Vec<i32> = std::iter::from_fn(|| r.try_pop()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert!(r.try_pop().is_none());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(SeqRing::<u8>::with_capacity(0).capacity(), 2);
+        assert_eq!(SeqRing::<u8>::with_capacity(5).capacity(), 8);
+        assert_eq!(SeqRing::<u8>::with_capacity(8).capacity(), 8);
+    }
+
+    #[test]
+    fn reuse_across_many_laps() {
+        let r = SeqRing::with_capacity(2);
+        for lap in 0u64..1000 {
+            r.try_push(lap).expect("fits");
+            assert_eq!(r.try_pop(), Some(lap));
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn undelivered_values_are_dropped_with_the_ring() {
+        let r = SeqRing::with_capacity(4);
+        let v = Arc::new(());
+        for _ in 0..3 {
+            r.try_push(Arc::clone(&v)).expect("fits");
+        }
+        assert_eq!(Arc::strong_count(&v), 4);
+        drop(r);
+        assert_eq!(Arc::strong_count(&v), 1);
+    }
+
+    #[test]
+    fn spmc_delivers_every_value_exactly_once() {
+        const N: u64 = 20_000;
+        const CONSUMERS: usize = 4;
+        let ring = Arc::new(SeqRing::with_capacity(64));
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..CONSUMERS {
+            let ring = Arc::clone(&ring);
+            let sum = Arc::clone(&sum);
+            let count = Arc::clone(&count);
+            handles.push(thread::spawn(move || {
+                while count.load(Ordering::Relaxed) < N {
+                    match ring.try_pop() {
+                        Some(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => thread::yield_now(),
+                    }
+                }
+            }));
+        }
+        let mut next = 0u64;
+        while next < N {
+            match ring.try_push(next) {
+                Ok(()) => next += 1,
+                Err(RingFull(_)) => thread::yield_now(),
+            }
+        }
+        for h in handles {
+            h.join().expect("consumer");
+        }
+        assert_eq!(count.load(Ordering::Relaxed), N);
+        assert_eq!(sum.load(Ordering::Relaxed), N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn mpsc_delivers_every_value_exactly_once() {
+        const PER: u64 = 5_000;
+        const PRODUCERS: u64 = 4;
+        let ring = Arc::new(SeqRing::with_capacity(32));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let ring = Arc::clone(&ring);
+            handles.push(thread::spawn(move || {
+                for i in 0..PER {
+                    let mut v = p * PER + i;
+                    loop {
+                        match ring.try_push(v) {
+                            Ok(()) => break,
+                            Err(RingFull(back)) => {
+                                v = back;
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let mut seen = vec![false; (PER * PRODUCERS) as usize];
+        let mut got = 0u64;
+        while got < PER * PRODUCERS {
+            match ring.try_pop() {
+                Some(v) => {
+                    assert!(!seen[v as usize], "value {v} delivered twice");
+                    seen[v as usize] = true;
+                    got += 1;
+                }
+                None => thread::yield_now(),
+            }
+        }
+        for h in handles {
+            h.join().expect("producer");
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(ring.try_pop().is_none());
+    }
+}

@@ -17,6 +17,8 @@ use std::time::Duration;
 use matraptor_sparse::rng::ChaCha8Rng;
 use matraptor_sparse::Csr;
 
+use crate::bounded::BoundedLog;
+
 use super::frame::{
     decode_response, encode_frame, encode_request, read_frame, ReadBudget, Request, Response,
     WireError, DEFAULT_MAX_FRAME_LEN,
@@ -133,6 +135,10 @@ pub struct WireClient {
     policy: RetryPolicy,
     rng: ChaCha8Rng,
     next_frame_id: u64,
+    /// Every backoff (ms) this client has slept, in order — the audit
+    /// trail for the seeded-schedule determinism guarantee. Bounded so a
+    /// long-lived client against a flaky peer cannot leak.
+    backoffs: BoundedLog<u64>,
 }
 
 impl WireClient {
@@ -149,9 +155,24 @@ impl WireClient {
             policy,
             rng: ChaCha8Rng::seed_from_u64(seed),
             next_frame_id: 1,
+            backoffs: BoundedLog::new(256),
         };
         client.ensure_connected()?;
         Ok(client)
+    }
+
+    /// The backoffs (ms) slept so far, in order. Two clients built with
+    /// the same seed and policy that hit the same failure sequence record
+    /// byte-identical schedules — pinned by test, so retry timing stays
+    /// reproducible.
+    pub fn backoff_history(&self) -> &[u64] {
+        self.backoffs.entries()
+    }
+
+    fn sleep_backoff(&mut self, attempt: u32) {
+        let ms = self.policy.backoff_ms(attempt, &mut self.rng);
+        self.backoffs.push(ms);
+        std::thread::sleep(Duration::from_millis(ms));
     }
 
     fn ensure_connected(&mut self) -> Result<(), ClientError> {
@@ -173,8 +194,7 @@ impl WireClient {
                 Err(e) => {
                     last = ClientError::Connect(e.kind());
                     if attempt.saturating_add(1) < attempts {
-                        let ms = self.policy.backoff_ms(attempt, &mut self.rng);
-                        std::thread::sleep(Duration::from_millis(ms));
+                        self.sleep_backoff(attempt);
                     }
                 }
             }
@@ -236,8 +256,7 @@ impl WireClient {
                 Err(e) => {
                     last = e;
                     if attempt.saturating_add(1) < attempts {
-                        let ms = self.policy.backoff_ms(attempt, &mut self.rng);
-                        std::thread::sleep(Duration::from_millis(ms));
+                        self.sleep_backoff(attempt);
                     }
                 }
             }
@@ -308,6 +327,46 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let ms: Vec<u64> = (0..4).map(|i| policy.backoff_ms(i, &mut rng)).collect();
         assert_eq!(ms, vec![10, 20, 40, 50], "exponential up to the cap");
+    }
+
+    #[test]
+    fn backoff_history_is_byte_identical_across_same_seed_clients() {
+        // Connect through the listener's backlog (no accept needed for
+        // the handshake), then drop the listener so every exchange and
+        // reconnect fails the same way for every client. Tight read
+        // budgets keep the failing reads bounded.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff_ms: 8,
+            max_backoff_ms: 16,
+            jitter: true,
+            read_timeout_ms: 1,
+            idle_reads: 2,
+            frame_reads: 2,
+        };
+        let mut same_a = WireClient::connect(addr, policy, 77).expect("backlog handshake");
+        let mut same_b = WireClient::connect(addr, policy, 77).expect("backlog handshake");
+        let mut other = WireClient::connect(addr, policy, 1234).expect("backlog handshake");
+        drop(listener);
+        for c in [&mut same_a, &mut same_b, &mut other] {
+            match c.ping() {
+                Err(ClientError::Exhausted { .. }) => {}
+                got => panic!("expected exhausted retries, got {got:?}"),
+            }
+        }
+        assert!(!same_a.backoff_history().is_empty(), "failed retries must record sleeps");
+        assert_eq!(
+            same_a.backoff_history(),
+            same_b.backoff_history(),
+            "same seed, same failure sequence: byte-identical schedule"
+        );
+        assert_ne!(
+            same_a.backoff_history(),
+            other.backoff_history(),
+            "a different seed perturbs the jitter stream"
+        );
     }
 
     #[test]

@@ -95,6 +95,7 @@ impl WireServerConfig {
 struct WireCounters {
     accepted: AtomicU64,
     busy_rejected: AtomicU64,
+    drain_rejected: AtomicU64,
     frames_ok: AtomicU64,
     replies_sent: AtomicU64,
     bad_magic: AtomicU64,
@@ -117,6 +118,9 @@ pub struct WireCountersSnapshot {
     pub accepted: u64,
     /// Connections refused at the cap with [`RejectCode::Busy`].
     pub busy_rejected: u64,
+    /// Connections refused with [`RejectCode::Draining`] because the
+    /// server was draining when they arrived.
+    pub drain_rejected: u64,
     /// Frames that passed every header/checksum check.
     pub frames_ok: u64,
     /// Reply frames successfully written.
@@ -150,6 +154,7 @@ impl WireCounters {
         WireCountersSnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             busy_rejected: self.busy_rejected.load(Ordering::Relaxed),
+            drain_rejected: self.drain_rejected.load(Ordering::Relaxed),
             frames_ok: self.frames_ok.load(Ordering::Relaxed),
             replies_sent: self.replies_sent.load(Ordering::Relaxed),
             bad_magic: self.bad_magic.load(Ordering::Relaxed),
@@ -381,6 +386,11 @@ impl Engine {
 #[derive(Debug)]
 struct Shared {
     stop: AtomicBool,
+    /// Raised by [`WireServer::begin_drain`] (and shutdown): the engine
+    /// refuses new submissions, and the accept loop answers every new
+    /// connection with an explicit [`RejectCode::Draining`] reply instead
+    /// of serving (or silently dropping) it.
+    draining: AtomicBool,
     live: AtomicU64,
     counters: WireCounters,
     /// Clones of every served stream, so shutdown can unblock reads.
@@ -415,6 +425,7 @@ impl WireServer {
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             live: AtomicU64::new(0),
             counters: WireCounters::default(),
             streams: Mutex::new(Vec::new()),
@@ -463,10 +474,27 @@ impl WireServer {
         self.shared.counters.snapshot()
     }
 
+    /// Enters the draining state without tearing the server down: routes
+    /// a drain through the engine (ordered after every in-flight request;
+    /// queued jobs finish or checkpoint through the core pause path) and
+    /// flips the accept loop into refusal mode, so every connection
+    /// arriving from here on gets an explicit [`RejectCode::Draining`]
+    /// reply — a retrying client sees the taxonomy, not a hang, a
+    /// silent drop, or [`RejectCode::Busy`]. Idempotent: the engine
+    /// caches the first drain's report. Returns the drain report, or
+    /// `None` if the engine is already gone.
+    pub fn begin_drain(&self) -> Option<Response> {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.engine_tx.send(EngineCall { req: Request::Drain, reply: reply_tx }).ok()?;
+        reply_rx.recv().ok()
+    }
+
     /// Graceful drain and teardown: stop accepting, run the core drain
     /// (finishing or checkpointing every queued job), flush replies, join
     /// every thread, and report the census.
     pub fn shutdown(mut self) -> WireShutdown {
+        self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.stop.store(true, Ordering::SeqCst);
 
         // Wake the accept loop with a throwaway connection; it observes
@@ -589,7 +617,19 @@ fn accept_main(
             }
         };
         if shared.stop.load(Ordering::SeqCst) {
+            // Teardown in progress: answer the taxonomy before closing so
+            // a peer that raced the shutdown sees Draining, not a silent
+            // drop it would misread as a transport fault and retry. No
+            // loitering — shutdown must stay prompt.
+            reject_draining(&mut stream, &shared, false);
             return;
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            // Draining but still alive: keep accepting so every retrying
+            // peer gets the explicit refusal, and loiter long enough for
+            // the reply to land before the close.
+            reject_draining(&mut stream, &shared, true);
+            continue;
         }
         if shared.live.load(Ordering::SeqCst) >= limits.max_connections {
             shared.counters.busy_rejected.fetch_add(1, Ordering::Relaxed);
@@ -626,6 +666,34 @@ fn accept_main(
             }
         }
     }
+}
+
+/// Writes an unsolicited (frame id 0) `Draining` reply and closes the
+/// connection — the accept loop's refusal path while draining. With
+/// `loiter`, the peer's pending bytes are consumed (bounded) before the
+/// close: closing a socket with unread received data sends an RST, which
+/// can destroy the reply still sitting in the peer's receive buffer.
+fn reject_draining(stream: &mut TcpStream, shared: &Shared, loiter: bool) {
+    shared.counters.drain_rejected.fetch_add(1, Ordering::Relaxed);
+    let resp = Response::Error {
+        code: RejectCode::Draining,
+        detail: "server is draining; no new connections".to_string(),
+    };
+    let bytes = encode_frame(Op::Error, 0, &encode_response(&resp));
+    let _ = stream.write_all(&bytes);
+    let _ = stream.flush();
+    if loiter {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut sink = [0u8; 1024];
+        for _ in 0..8 {
+            match std::io::Read::read(stream, &mut sink) {
+                Ok(0) => break,    // peer closed cleanly
+                Ok(_) => continue, // discard whatever it sent
+                Err(_) => break,   // timeout or reset — the peer had its window
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// Serves one connection until the peer closes, a desynchronizing error
@@ -849,6 +917,39 @@ mod tests {
                 + down.drained_failed,
             3
         );
+    }
+
+    #[test]
+    fn reconnecting_into_a_draining_server_receives_draining_not_busy() {
+        let server = local_server();
+        let mut live =
+            WireClient::connect(server.addr(), RetryPolicy::default_local(), 14).expect("connect");
+        let a = gen::uniform(16, 16, 60, 51);
+        let b = gen::uniform(16, 16, 60, 52);
+        match live.submit(0, &a, &b).expect("submit") {
+            Response::Submitted { .. } => {}
+            other => panic!("expected Submitted, got {other:?}"),
+        }
+        let report = server.begin_drain().expect("engine alive");
+        assert!(matches!(report, Response::DrainReport { .. }), "got {report:?}");
+        // A client reconnecting into the drain window must see the
+        // Draining taxonomy on its first retried op — not Busy, and not
+        // a silent drop it would grind into Exhausted.
+        let mut retrying =
+            WireClient::connect(server.addr(), RetryPolicy::default_local(), 15).expect("connect");
+        match retrying.ping() {
+            Ok(Response::Error { code, .. }) => assert_eq!(code, RejectCode::Draining),
+            other => panic!("expected Draining, got {other:?}"),
+        }
+        // The already-connected client's next submit sees it too, via the
+        // engine rather than the accept loop.
+        match live.submit(0, &a, &b).expect("submit after drain") {
+            Response::Error { code, .. } => assert_eq!(code, RejectCode::Draining),
+            other => panic!("expected Draining, got {other:?}"),
+        }
+        let down = server.shutdown();
+        assert_eq!(down.thread_panics, 0);
+        assert!(down.counters.drain_rejected >= 1, "refusals are counted");
     }
 
     #[test]

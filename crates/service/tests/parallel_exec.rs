@@ -1,0 +1,225 @@
+//! Integration tests for the threaded fleet executor
+//! (`matraptor_service::parallel`): resolution-core determinism across
+//! thread counts, fault injection through the recovery ladder, the
+//! lost-ack duplicate race, and total-retirement inline fallback.
+
+use std::sync::Arc;
+
+use matraptor_core::{FaultKind, FaultPlan};
+use matraptor_service::parallel::{self, ParJob, ParallelConfig, ParallelError};
+use matraptor_service::{Disposition, WorkerFault, WorkerFaultEvent, WorkerFaultPlan};
+use matraptor_sparse::gen;
+
+fn jobs(count: u64, deadline: u64) -> Vec<ParJob> {
+    (0..count)
+        .map(|i| {
+            let a = Arc::new(gen::uniform(16, 16, 60, i * 2 + 1));
+            let b = Arc::new(gen::uniform(16, 16, 60, i * 2 + 2));
+            ParJob { id: i, a, b, plan: None, deadline_cycles: deadline }
+        })
+        .collect()
+}
+
+fn base_cfg(threads: usize) -> ParallelConfig {
+    let mut cfg = ParallelConfig::small_test();
+    cfg.threads = threads;
+    cfg
+}
+
+#[test]
+fn resolution_core_is_identical_across_thread_counts() {
+    let mut fingerprints = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let report = parallel::run(base_cfg(threads), jobs(12, u64::MAX)).expect("run");
+        assert_eq!(report.records.len(), 12);
+        assert!(report.records.windows(2).all(|w| w[0].id < w[1].id), "id-sorted");
+        assert!(report.records.iter().all(|r| r.disposition == Disposition::Completed));
+        fingerprints.push(report.resolution_fingerprint());
+    }
+    assert_eq!(fingerprints[0], fingerprints[1]);
+    assert_eq!(fingerprints[1], fingerprints[2]);
+}
+
+#[test]
+fn injected_panic_is_caught_and_recovered() {
+    let clean = parallel::run(base_cfg(2), jobs(12, u64::MAX)).expect("clean");
+    let mut cfg = base_cfg(2);
+    cfg.worker_faults = Some(WorkerFaultPlan::new(vec![WorkerFaultEvent {
+        worker: 0,
+        after_slices: 2,
+        kind: WorkerFault::Crash,
+    }]));
+    let report = parallel::run(cfg, jobs(12, u64::MAX)).expect("faulted run");
+    assert_eq!(report.records.len(), 12);
+    assert_eq!(report.counters.injected_panics, 1);
+    assert!(report.counters.panics_caught >= 1, "panic must be caught, not abort");
+    assert!(report.counters.worker_restarts >= 1, "crash walks the restart rung");
+    assert!(report.panic_census.iter().any(|p| p.injected && p.worker == 0));
+    assert_eq!(
+        report.resolution_fingerprint(),
+        clean.resolution_fingerprint(),
+        "a recovered crash must not perturb the resolution core"
+    );
+}
+
+#[test]
+fn injected_hang_is_detected_by_the_heartbeat_budget() {
+    let clean = parallel::run(base_cfg(2), jobs(12, u64::MAX)).expect("clean");
+    let mut cfg = base_cfg(2);
+    // Keep the default hang budget (400 polls ≈ 80ms): a tighter budget
+    // false-positives on ordinary scheduler noise, and a false recycle can
+    // drop the still-pending injected hang from the slot's schedule.
+    cfg.worker_faults = Some(WorkerFaultPlan::new(vec![WorkerFaultEvent {
+        worker: 0,
+        after_slices: 2,
+        kind: WorkerFault::Hang,
+    }]));
+    let report = parallel::run(cfg, jobs(12, u64::MAX)).expect("faulted run");
+    assert_eq!(report.records.len(), 12);
+    assert_eq!(report.counters.injected_hangs, 1);
+    assert!(report.counters.hangs_detected >= 1, "silent wedge must be detected");
+    assert!(report.counters.worker_restarts >= 1);
+    assert_eq!(report.resolution_fingerprint(), clean.resolution_fingerprint());
+}
+
+#[test]
+fn terminal_slowdown_is_recycled() {
+    let clean = parallel::run(base_cfg(2), jobs(12, u64::MAX)).expect("clean");
+    let mut cfg = base_cfg(2);
+    cfg.terminal_slow_factor = 4;
+    cfg.worker_faults = Some(WorkerFaultPlan::new(vec![WorkerFaultEvent {
+        worker: 0,
+        after_slices: 2,
+        kind: WorkerFault::SlowDown { factor: 16 },
+    }]));
+    let report = parallel::run(cfg, jobs(12, u64::MAX)).expect("faulted run");
+    assert_eq!(report.records.len(), 12);
+    assert_eq!(report.counters.injected_slowdowns, 1);
+    assert!(report.counters.slowness_detections >= 1);
+    assert_eq!(report.resolution_fingerprint(), clean.resolution_fingerprint());
+}
+
+#[test]
+fn lost_ack_duplicate_is_suppressed() {
+    let clean = parallel::run(base_cfg(2), jobs(12, u64::MAX)).expect("clean");
+    let mut cfg = base_cfg(2);
+    cfg.worker_faults = Some(WorkerFaultPlan::new(vec![WorkerFaultEvent {
+        worker: 0,
+        after_slices: 1,
+        kind: WorkerFault::CrashAfterCompletion,
+    }]));
+    let report = parallel::run(cfg, jobs(12, u64::MAX)).expect("faulted run");
+    assert_eq!(report.records.len(), 12, "every id resolves exactly once");
+    assert_eq!(report.counters.injected_lost_acks, 1);
+    assert!(
+        report.counters.duplicates_suppressed >= 1,
+        "the re-dispatched completed job must be suppressed, got {:?}",
+        report.counters
+    );
+    assert_eq!(report.counters.duplicate_completions, 0);
+    assert_eq!(report.resolution_fingerprint(), clean.resolution_fingerprint());
+}
+
+#[test]
+fn exhausted_ladder_retires_and_falls_back_inline() {
+    // One thread, zero restart budget: the first crash retires the only
+    // worker and the main thread must finish the backlog inline.
+    let mut cfg = base_cfg(1);
+    cfg.max_restarts = 0;
+    cfg.max_degraded_restarts = 0;
+    cfg.worker_faults = Some(WorkerFaultPlan::new(vec![WorkerFaultEvent {
+        worker: 0,
+        after_slices: 2,
+        kind: WorkerFault::Crash,
+    }]));
+    let report = parallel::run(cfg, jobs(8, u64::MAX)).expect("run");
+    assert_eq!(report.records.len(), 8);
+    assert_eq!(report.counters.worker_retirements, 1);
+    assert!(report.counters.inline_fallbacks >= 1, "retired fleet must not deadlock");
+    assert!(report.records.iter().all(|r| r.disposition == Disposition::Completed));
+}
+
+#[test]
+fn degraded_rung_halves_lanes_and_still_completes() {
+    // Zero full restarts but one degraded restart: the crash degrades the
+    // worker to half lanes, which keeps executing.
+    let mut cfg = base_cfg(1);
+    cfg.max_restarts = 0;
+    cfg.max_degraded_restarts = 2;
+    cfg.worker_faults = Some(WorkerFaultPlan::new(vec![WorkerFaultEvent {
+        worker: 0,
+        after_slices: 2,
+        kind: WorkerFault::Crash,
+    }]));
+    let report = parallel::run(cfg, jobs(8, u64::MAX)).expect("run");
+    assert_eq!(report.records.len(), 8);
+    assert_eq!(report.counters.worker_degradations, 1);
+    assert!(
+        report.counters.degraded_completions >= 1,
+        "the degraded generation should finish the backlog: {:?}",
+        report.counters
+    );
+    assert!(report.records.iter().all(|r| r.disposition == Disposition::Completed));
+}
+
+#[test]
+fn deadlines_resolve_as_deadline_exceeded() {
+    let report = parallel::run(base_cfg(2), jobs(6, 40)).expect("run");
+    assert_eq!(report.records.len(), 6);
+    assert!(report
+        .records
+        .iter()
+        .all(|r| r.disposition == Disposition::DeadlineExceeded && r.executed_cycles >= 40));
+}
+
+#[test]
+fn persistent_input_faults_resolve_as_failed() {
+    let mut all = jobs(4, u64::MAX);
+    // StreamTruncation always engages (the accelerator remaps the fault to
+    // a busy lane) and is caught by the output-integrity cross-check, so
+    // it rides every retry — unlike ChannelStall, whose sampled activation
+    // window can start after these small jobs already finished.
+    for job in &mut all {
+        job.plan = Some(FaultPlan::sample(FaultKind::StreamTruncation, 7, 4));
+    }
+    let report = parallel::run(base_cfg(2), all).expect("run");
+    assert_eq!(report.records.len(), 4);
+    assert!(report.records.iter().all(|r| r.disposition == Disposition::Failed));
+    assert!(report.records.iter().all(|r| r.attempts >= 2), "retries consumed first");
+}
+
+#[test]
+fn duplicate_ids_are_rejected() {
+    let mut all = jobs(3, u64::MAX);
+    all[2].id = 0;
+    match parallel::run(base_cfg(1), all) {
+        Err(ParallelError::DuplicateJobId(0)) => {}
+        other => panic!("expected DuplicateJobId, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_job_list_yields_empty_report() {
+    let report = parallel::run(base_cfg(2), Vec::new()).expect("run");
+    assert!(report.records.is_empty());
+    assert_eq!(report.counters.panics_caught, 0);
+}
+
+#[test]
+fn recovery_log_is_bounded_under_a_fault_storm() {
+    let mut cfg = base_cfg(2);
+    cfg.recovery_log_cap = 8;
+    cfg.max_restarts = 64;
+    let events: Vec<WorkerFaultEvent> = (0..20)
+        .map(|i| WorkerFaultEvent {
+            worker: (i % 2) as usize,
+            after_slices: i + 1,
+            kind: WorkerFault::Crash,
+        })
+        .collect();
+    cfg.worker_faults = Some(WorkerFaultPlan::new(events));
+    let report = parallel::run(cfg, jobs(24, u64::MAX)).expect("run");
+    assert_eq!(report.records.len(), 24);
+    assert!(report.recovery_log.len() <= 8, "log must stay within its cap");
+    assert!(report.recovery_events_dropped > 0, "the storm must have evicted history");
+}
